@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (e.g. on offline machines where ``pip install -e .`` cannot build
+an editable wheel).  When ``repro`` is already installed this is a no-op
+apart from preferring the in-tree sources.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

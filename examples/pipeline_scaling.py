@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""State-space scaling: symbolic traversal vs explicit enumeration.
+
+The motivation of the paper is that explicit state enumeration explodes on
+highly concurrent specifications while BDD-based traversal does not.  This
+example sweeps the Muller pipeline family, verifies each instance with
+both engines (while the explicit one is still feasible) and prints the
+growth of the state count against the size of the BDD representing it.
+
+Run with::
+
+    python examples/pipeline_scaling.py [max_stages]
+"""
+
+import sys
+import time
+
+from repro.core.encoding import SymbolicEncoding
+from repro.core.image import SymbolicImage
+from repro.core.traversal import symbolic_traversal
+from repro.sg import build_state_graph
+from repro.stg.generators import muller_pipeline
+
+EXPLICIT_LIMIT = 60_000  # beyond this many states the explicit engine is skipped
+
+
+def main() -> None:
+    max_stages = int(sys.argv[1]) if len(sys.argv) > 1 else 14
+    header = (f"{'stages':>6} {'states':>12} {'BDD final':>10} {'BDD peak':>10} "
+              f"{'symbolic s':>11} {'explicit s':>11}")
+    print(header)
+    print("-" * len(header))
+    for stages in range(1, max_stages + 1):
+        stg = muller_pipeline(stages)
+        encoding = SymbolicEncoding(stg)
+        image = SymbolicImage(encoding)
+
+        start = time.perf_counter()
+        reached, stats = symbolic_traversal(encoding, image=image)
+        symbolic_seconds = time.perf_counter() - start
+
+        explicit_seconds = None
+        if stats.num_states <= EXPLICIT_LIMIT:
+            start = time.perf_counter()
+            explicit = build_state_graph(stg).graph
+            explicit_seconds = time.perf_counter() - start
+            assert explicit.num_states == stats.num_states
+
+        explicit_text = (f"{explicit_seconds:11.3f}"
+                         if explicit_seconds is not None else f"{'skipped':>11}")
+        print(f"{stages:>6} {stats.num_states:>12} {stats.final_nodes:>10} "
+              f"{stats.peak_nodes:>10} {symbolic_seconds:11.3f} {explicit_text}")
+    print()
+    print("The reachable state count doubles with every stage while the BDD")
+    print("representing it grows only linearly -- the effect the paper's")
+    print("Table 1 demonstrates on its scalable benchmarks.")
+
+
+if __name__ == "__main__":
+    main()

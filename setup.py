@@ -1,0 +1,12 @@
+"""Legacy setuptools entry point.
+
+The canonical build configuration lives in ``pyproject.toml``.  This file
+exists so that editable installs keep working on offline machines that lack
+the ``wheel`` package (PEP 660 editable wheels cannot be built there)::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Reproduction of "Checking Signal Transition Graph Implementability by
+Symbolic BDD Traversal" (Kondratyev, Cortadella, Kishinevsky, Pastor, Roig,
+Yakovlev -- ED&TC 1995).
+
+Public entry points
+-------------------
+
+* :mod:`repro.bdd` -- the ROBDD engine used as symbolic substrate.
+* :mod:`repro.petri` -- Petri nets, markings, explicit reachability.
+* :mod:`repro.stg` -- Signal Transition Graphs, the ``.g`` file format and
+  the scalable benchmark generators.
+* :mod:`repro.sg` -- explicit (full) State Graphs and explicit property
+  checks; the enumeration baseline and testing oracle.
+* :mod:`repro.core` -- the paper's contribution: symbolic traversal and
+  symbolic implementability checks (consistency, persistency, CSC,
+  CSC-reducibility, fake conflicts) plus the
+  :class:`~repro.core.checker.ImplementabilityChecker` facade.
+* :mod:`repro.synthesis` -- derivation of next-state (complex-gate) logic
+  for specifications that satisfy CSC.
+
+A typical use::
+
+    from repro.stg.generators import muller_pipeline
+    from repro.core import ImplementabilityChecker
+
+    stg = muller_pipeline(8)
+    report = ImplementabilityChecker(stg).check()
+    print(report.summary())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,48 @@
+"""Graphviz DOT export of BDDs (for documentation and debugging)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bdd.function import Function
+from repro.bdd.manager import FALSE_ID, TRUE_ID
+
+
+def to_dot(f: Function, name: str = "bdd") -> str:
+    """Return a DOT digraph for the BDD rooted at ``f``.
+
+    Solid edges are the high (then) branches, dashed edges the low (else)
+    branches; nodes on the same level are ranked together.
+    """
+    manager = f.manager
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=TB;"]
+    nodes = list(manager.descendants(f.node))
+    internal = [n for n in nodes if not manager.is_terminal(n)]
+    # Terminal shapes.
+    if FALSE_ID in nodes:
+        lines.append('  n0 [label="0", shape=box];')
+    if TRUE_ID in nodes:
+        lines.append('  n1 [label="1", shape=box];')
+    # Group nodes per level for nicer layouts.
+    by_level = {}
+    for node in internal:
+        by_level.setdefault(manager.node_level(node), []).append(node)
+    for level in sorted(by_level):
+        variable = manager.var_at_level(level)
+        members = by_level[level]
+        for node in members:
+            lines.append(f'  n{node} [label="{variable}", shape=circle];')
+        ranked = "; ".join(f"n{node}" for node in members)
+        lines.append(f"  {{ rank=same; {ranked}; }}")
+    for node in internal:
+        lines.append(f"  n{node} -> n{manager.node_low(node)} [style=dashed];")
+        lines.append(f"  n{node} -> n{manager.node_high(node)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(f: Function, path: str, name: str = "bdd") -> None:
+    """Write the DOT representation of ``f`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_dot(f, name))
+        handle.write("\n")

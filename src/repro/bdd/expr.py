@@ -1,0 +1,182 @@
+"""A small boolean-expression front end.
+
+Grammar (usual precedence, ``!`` binds tightest, then ``&``, ``^``, ``|``,
+then ``->`` and ``<->`` which are right-associative)::
+
+    expr    := iff
+    iff     := implies ( "<->" implies )*
+    implies := or_e ( "->" or_e )*          (right associative)
+    or_e    := xor_e ( ("|" | "+") xor_e )*
+    xor_e   := and_e ( "^" and_e )*
+    and_e   := not_e ( ("&" | "*") not_e )*
+    not_e   := ("!" | "~") not_e | atom
+    atom    := "0" | "1" | identifier [ "'" ] | "(" expr ")"
+
+A postfix apostrophe negates an identifier (``a'`` is ``!a``), matching the
+notation used throughout the paper.  Identifiers may contain letters,
+digits, ``_``, ``.``, ``+`` and ``-`` are *not* allowed inside identifiers
+here (use :mod:`repro.stg` names without polarity suffixes).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.bdd.function import Function
+from repro.bdd.manager import BDDManager, BDDError
+
+
+class ExpressionError(BDDError):
+    """Raised for syntax errors in boolean expressions."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<iff><->)|(?P<implies>->)|(?P<op>[()&|^!~*+'])|"
+    r"(?P<const>[01])(?![\w.])|(?P<name>[A-Za-z_][\w.\[\]]*))"
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    index = 0
+    while index < len(text):
+        match = _TOKEN_RE.match(text, index)
+        if match is None:
+            remainder = text[index:].strip()
+            if not remainder:
+                break
+            raise ExpressionError(f"unexpected input at: {remainder[:20]!r}")
+        index = match.end()
+        for key in ("iff", "implies", "op", "const", "name"):
+            value = match.group(key)
+            if value is not None:
+                tokens.append(value)
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, manager: BDDManager, tokens: List[str],
+                 declare: bool) -> None:
+        self.manager = manager
+        self.tokens = tokens
+        self.position = 0
+        self.declare = declare
+
+    def peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ExpressionError("unexpected end of expression")
+        self.position += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        actual = self.take()
+        if actual != token:
+            raise ExpressionError(f"expected {token!r}, found {actual!r}")
+
+    # Grammar rules -----------------------------------------------------
+    def parse(self) -> Function:
+        result = self.iff()
+        if self.peek() is not None:
+            raise ExpressionError(f"trailing input: {self.tokens[self.position:]}")
+        return result
+
+    def iff(self) -> Function:
+        left = self.implies()
+        while self.peek() == "<->":
+            self.take()
+            right = self.implies()
+            left = left.iff(right)
+        return left
+
+    def implies(self) -> Function:
+        left = self.or_expression()
+        if self.peek() == "->":
+            self.take()
+            right = self.implies()
+            return left >> right
+        return left
+
+    def or_expression(self) -> Function:
+        left = self.xor_expression()
+        while self.peek() in ("|", "+"):
+            self.take()
+            left = left | self.xor_expression()
+        return left
+
+    def xor_expression(self) -> Function:
+        left = self.and_expression()
+        while self.peek() == "^":
+            self.take()
+            left = left ^ self.and_expression()
+        return left
+
+    def and_expression(self) -> Function:
+        left = self.not_expression()
+        while True:
+            token = self.peek()
+            if token in ("&", "*"):
+                self.take()
+                left = left & self.not_expression()
+            elif token is not None and (token == "(" or token == "!"
+                                        or token == "~" or _is_atom(token)):
+                # Juxtaposition means conjunction: ``a b'`` == ``a & !b``.
+                left = left & self.not_expression()
+            else:
+                return left
+
+    def not_expression(self) -> Function:
+        token = self.peek()
+        if token in ("!", "~"):
+            self.take()
+            return ~self.not_expression()
+        return self.atom()
+
+    def atom(self) -> Function:
+        token = self.take()
+        if token == "(":
+            inner = self.iff()
+            self.expect(")")
+            return self._maybe_postfix_negate(inner)
+        if token == "0":
+            return self.manager.false
+        if token == "1":
+            return self.manager.true
+        if _is_atom(token):
+            if self.declare:
+                function = self.manager.ensure_var(token)
+            else:
+                function = self.manager.var(token)
+            return self._maybe_postfix_negate(function)
+        raise ExpressionError(f"unexpected token {token!r}")
+
+    def _maybe_postfix_negate(self, function: Function) -> Function:
+        if self.peek() == "'":
+            self.take()
+            return ~function
+        return function
+
+
+def _is_atom(token: str) -> bool:
+    return bool(re.match(r"[A-Za-z_]", token)) or token in ("0", "1")
+
+
+def parse_expression(manager: BDDManager, text: str,
+                     declare: bool = False) -> Function:
+    """Parse ``text`` into a BDD over ``manager``.
+
+    With ``declare=True`` unknown identifiers are declared on the fly (at
+    the end of the order); otherwise they raise
+    :class:`~repro.bdd.manager.BDDOrderError`.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ExpressionError("empty expression")
+    return _Parser(manager, tokens, declare).parse()

@@ -1,0 +1,408 @@
+"""The BDD manager: node storage, unique table, ITE and garbage collection.
+
+The manager owns every node.  A node is identified by a small integer.
+Identifier ``0`` is the constant FALSE terminal and identifier ``1`` is the
+constant TRUE terminal.  Every internal node is a triple
+``(level, low, high)`` where ``level`` is the position of the decision
+variable in the global variable order (smaller level = closer to the root)
+and ``low`` / ``high`` are the identifiers of the cofactors for the variable
+being 0 / 1 respectively.
+
+Canonicity invariants maintained by :meth:`BDDManager._mk`:
+
+* no node has ``low == high`` (redundant test elimination),
+* no two distinct identifiers describe the same ``(level, low, high)``
+  triple (sharing through the unique table).
+
+Because edges are never complemented, two functions are equal if and only
+if their root identifiers are equal.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+FALSE_ID = 0
+TRUE_ID = 1
+_TERMINAL_LEVEL = 1 << 30  # terminals sort after every variable level
+
+
+class BDDError(Exception):
+    """Base class for errors raised by the BDD engine."""
+
+
+class BDDOrderError(BDDError):
+    """Raised when an unknown variable is used or an ordering is invalid."""
+
+
+class BDDManager:
+    """Owns BDD nodes and implements the core ``ite`` operation.
+
+    Parameters
+    ----------
+    variables:
+        Optional initial variable order (a sequence of distinct names).
+        Variables can also be added later with :meth:`add_var`; new
+        variables are appended at the end of the order.
+    cache_limit:
+        Soft limit on the number of entries in the operation caches.  When
+        exceeded the caches are cleared (simple but effective for the
+        workloads of this project).
+
+    Examples
+    --------
+    >>> mgr = BDDManager(["a", "b"])
+    >>> f = mgr.var("a") & ~mgr.var("b")
+    >>> f.is_false()
+    False
+    >>> (f & mgr.var("b")).is_false()
+    True
+    """
+
+    def __init__(self, variables: Optional[Iterable[str]] = None,
+                 cache_limit: int = 1_000_000) -> None:
+        # Node storage: parallel lists indexed by node id.
+        self._level: List[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
+        self._low: List[int] = [FALSE_ID, TRUE_ID]
+        self._high: List[int] = [FALSE_ID, TRUE_ID]
+        # Unique table: (level, low, high) -> node id.
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        # Variable order.
+        self._var2level: Dict[str, int] = {}
+        self._level2var: List[str] = []
+        # Operation caches.
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+        self._op_cache: Dict[Tuple, int] = {}
+        self._cache_limit = cache_limit
+        # Live function handles (for garbage collection roots).
+        self._roots: "weakref.WeakSet" = weakref.WeakSet()
+        # Statistics.
+        self.gc_count = 0
+        self.created_nodes = 2
+        if variables is not None:
+            for name in variables:
+                self.add_var(name)
+
+    # ------------------------------------------------------------------
+    # Variable management
+    # ------------------------------------------------------------------
+    def add_var(self, name: str) -> "Function":
+        """Declare a new variable appended at the end of the current order.
+
+        Returns the projection function of the variable.  Declaring an
+        already-known variable is an error.
+        """
+        if name in self._var2level:
+            raise BDDOrderError(f"variable {name!r} already declared")
+        level = len(self._level2var)
+        self._var2level[name] = level
+        self._level2var.append(name)
+        return self.var(name)
+
+    def ensure_var(self, name: str) -> "Function":
+        """Return the projection of ``name``, declaring it if necessary."""
+        if name not in self._var2level:
+            return self.add_var(name)
+        return self.var(name)
+
+    def var(self, name: str) -> "Function":
+        """Return the projection function of an existing variable."""
+        try:
+            level = self._var2level[name]
+        except KeyError as exc:
+            raise BDDOrderError(f"unknown variable {name!r}") from exc
+        node = self._mk(level, FALSE_ID, TRUE_ID)
+        return self._wrap(node)
+
+    def nvar(self, name: str) -> "Function":
+        """Return the negative literal (complement of the projection)."""
+        try:
+            level = self._var2level[name]
+        except KeyError as exc:
+            raise BDDOrderError(f"unknown variable {name!r}") from exc
+        node = self._mk(level, TRUE_ID, FALSE_ID)
+        return self._wrap(node)
+
+    def level_of(self, name: str) -> int:
+        """Return the level (order position) of a variable."""
+        try:
+            return self._var2level[name]
+        except KeyError as exc:
+            raise BDDOrderError(f"unknown variable {name!r}") from exc
+
+    def var_at_level(self, level: int) -> str:
+        """Return the variable name at a given level."""
+        return self._level2var[level]
+
+    @property
+    def variables(self) -> List[str]:
+        """The variable names in their current order (root to leaves)."""
+        return list(self._level2var)
+
+    @property
+    def num_vars(self) -> int:
+        """Number of declared variables."""
+        return len(self._level2var)
+
+    # ------------------------------------------------------------------
+    # Constants
+    # ------------------------------------------------------------------
+    @property
+    def true(self) -> "Function":
+        """The constant TRUE function."""
+        return self._wrap(TRUE_ID)
+
+    @property
+    def false(self) -> "Function":
+        """The constant FALSE function."""
+        return self._wrap(FALSE_ID)
+
+    # ------------------------------------------------------------------
+    # Node primitives
+    # ------------------------------------------------------------------
+    def _mk(self, level: int, low: int, high: int) -> int:
+        """Find-or-create the node ``(level, low, high)``."""
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        node = len(self._level)
+        self._level.append(level)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = node
+        self.created_nodes += 1
+        return node
+
+    def node_level(self, node: int) -> int:
+        """Level of a node (terminals have a level past every variable)."""
+        return self._level[node]
+
+    def node_low(self, node: int) -> int:
+        """Low (else) child of an internal node."""
+        return self._low[node]
+
+    def node_high(self, node: int) -> int:
+        """High (then) child of an internal node."""
+        return self._high[node]
+
+    def is_terminal(self, node: int) -> bool:
+        """True for the two constant nodes."""
+        return node <= TRUE_ID
+
+    def _wrap(self, node: int) -> "Function":
+        from repro.bdd.function import Function
+
+        handle = Function(self, node)
+        self._roots.add(handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else on node identifiers: ``f·g + f'·h``.
+
+        This is the universal binary operation; every two-argument boolean
+        connective is expressed through it.
+        """
+        # Terminal cases.
+        if f == TRUE_ID:
+            return g
+        if f == FALSE_ID:
+            return h
+        if g == h:
+            return g
+        if g == TRUE_ID and h == FALSE_ID:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g], self._level[h])
+        f0, f1 = self._cofactors_at(f, level)
+        g0, g1 = self._cofactors_at(g, level)
+        h0, h1 = self._cofactors_at(h, level)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._mk(level, low, high)
+        self._maybe_trim_caches()
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors_at(self, node: int, level: int) -> Tuple[int, int]:
+        """Return the (low, high) cofactors of ``node`` w.r.t. ``level``."""
+        if self._level[node] == level:
+            return self._low[node], self._high[node]
+        return node, node
+
+    def negate(self, node: int) -> int:
+        """Complement of the function rooted at ``node``."""
+        if node == TRUE_ID:
+            return FALSE_ID
+        if node == FALSE_ID:
+            return TRUE_ID
+        cached = self._not_cache.get(node)
+        if cached is not None:
+            return cached
+        result = self._mk(
+            self._level[node],
+            self.negate(self._low[node]),
+            self.negate(self._high[node]),
+        )
+        self._not_cache[node] = result
+        return result
+
+    def apply_and(self, f: int, g: int) -> int:
+        """Conjunction on node identifiers."""
+        return self.ite(f, g, FALSE_ID)
+
+    def apply_or(self, f: int, g: int) -> int:
+        """Disjunction on node identifiers."""
+        return self.ite(f, TRUE_ID, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        """Exclusive or on node identifiers."""
+        return self.ite(f, self.negate(g), g)
+
+    def apply_diff(self, f: int, g: int) -> int:
+        """Difference ``f · g'`` on node identifiers."""
+        return self.ite(f, self.negate(g), FALSE_ID)
+
+    def apply_implies(self, f: int, g: int) -> int:
+        """Implication ``f' + g`` on node identifiers."""
+        return self.ite(f, g, TRUE_ID)
+
+    def apply_iff(self, f: int, g: int) -> int:
+        """Equivalence on node identifiers."""
+        return self.ite(f, g, self.negate(g))
+
+    # ------------------------------------------------------------------
+    # Cube helpers
+    # ------------------------------------------------------------------
+    def cube(self, literals: Dict[str, bool]) -> "Function":
+        """Build the conjunction of literals given as ``{name: polarity}``.
+
+        ``polarity`` True means the positive literal.  The empty dictionary
+        yields the constant TRUE.
+        """
+        # Build the cube bottom-up in reverse level order so every _mk call
+        # is constant time (no need for full ite).
+        items = sorted(
+            ((self.level_of(name), value) for name, value in literals.items()),
+            reverse=True,
+        )
+        node = TRUE_ID
+        for level, value in items:
+            if value:
+                node = self._mk(level, FALSE_ID, node)
+            else:
+                node = self._mk(level, node, FALSE_ID)
+        return self._wrap(node)
+
+    def from_assignment(self, assignment: Dict[str, bool],
+                        care_vars: Optional[Sequence[str]] = None) -> "Function":
+        """Minterm of ``assignment`` over ``care_vars`` (default: its keys)."""
+        if care_vars is None:
+            return self.cube(assignment)
+        literals = {name: bool(assignment[name]) for name in care_vars}
+        return self.cube(literals)
+
+    # ------------------------------------------------------------------
+    # Cache / memory management
+    # ------------------------------------------------------------------
+    def _maybe_trim_caches(self) -> None:
+        if len(self._ite_cache) > self._cache_limit:
+            self._ite_cache.clear()
+        if len(self._op_cache) > self._cache_limit:
+            self._op_cache.clear()
+
+    def clear_caches(self) -> None:
+        """Drop every memoisation table (does not drop nodes)."""
+        self._ite_cache.clear()
+        self._not_cache.clear()
+        self._op_cache.clear()
+
+    def collect_garbage(self) -> int:
+        """Remove nodes unreachable from any live :class:`Function` handle.
+
+        Returns the number of reclaimed nodes.  Node identifiers of live
+        functions are remapped in place, so handles stay valid.
+        """
+        live_roots = [h.node for h in self._roots]
+        marked = set([FALSE_ID, TRUE_ID])
+        stack = [n for n in live_roots if n not in marked]
+        while stack:
+            node = stack.pop()
+            if node in marked:
+                continue
+            marked.add(node)
+            low, high = self._low[node], self._high[node]
+            if low not in marked:
+                stack.append(low)
+            if high not in marked:
+                stack.append(high)
+        reclaimed = len(self._level) - len(marked)
+        if reclaimed == 0:
+            return 0
+        # Build the remapping old id -> new id, preserving 0/1.
+        order = sorted(marked)
+        remap = {old: new for new, old in enumerate(order)}
+        new_level = [self._level[old] for old in order]
+        new_low = [remap[self._low[old]] for old in order]
+        new_high = [remap[self._high[old]] for old in order]
+        self._level, self._low, self._high = new_level, new_low, new_high
+        self._unique = {
+            (self._level[n], self._low[n], self._high[n]): n
+            for n in range(2, len(self._level))
+        }
+        self.clear_caches()
+        # Patch live handles.
+        for handle in self._roots:
+            handle.node = remap[handle.node]
+        self.gc_count += 1
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes currently stored (including terminals)."""
+        return len(self._level)
+
+    def size(self, node: int) -> int:
+        """Number of nodes in the DAG rooted at ``node`` (terminals included)."""
+        seen = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current > TRUE_ID:
+                stack.append(self._low[current])
+                stack.append(self._high[current])
+        return len(seen)
+
+    def descendants(self, node: int) -> Iterable[int]:
+        """Iterate over every node reachable from ``node`` (incl. itself)."""
+        seen = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            yield current
+            if current > TRUE_ID:
+                stack.append(self._low[current])
+                stack.append(self._high[current])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"BDDManager(vars={self.num_vars}, nodes={self.num_nodes}, "
+                f"gc={self.gc_count})")

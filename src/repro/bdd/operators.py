@@ -1,0 +1,217 @@
+"""Derived BDD operations: quantification, cofactors, composition, renaming.
+
+All functions here take and return :class:`~repro.bdd.function.Function`
+handles.  They memoise their recursion in the manager's shared operation
+cache, keyed by an operation tag so different operations never collide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Sequence
+
+from repro.bdd.function import Function
+from repro.bdd.manager import BDDManager, BDDOrderError, FALSE_ID, TRUE_ID
+
+
+def _levels_of(manager: BDDManager, variables: Sequence[str]) -> FrozenSet[int]:
+    return frozenset(manager.level_of(name) for name in variables)
+
+
+# ----------------------------------------------------------------------
+# Quantification
+# ----------------------------------------------------------------------
+def exist(f: Function, variables: Sequence[str]) -> Function:
+    """Existential quantification ``exists variables . f``.
+
+    The abstraction of a single variable x is the classic
+    ``f[x:=0] + f[x:=1]`` (Section 4 of the paper).
+    """
+    manager = f.manager
+    levels = _levels_of(manager, variables)
+    if not levels:
+        return f
+    result = _quantify(manager, f.node, levels, conjunction=False)
+    return manager._wrap(result)
+
+
+def forall(f: Function, variables: Sequence[str]) -> Function:
+    """Universal quantification ``forall variables . f``."""
+    manager = f.manager
+    levels = _levels_of(manager, variables)
+    if not levels:
+        return f
+    result = _quantify(manager, f.node, levels, conjunction=True)
+    return manager._wrap(result)
+
+
+def _quantify(manager: BDDManager, node: int, levels: FrozenSet[int],
+              conjunction: bool) -> int:
+    if manager.is_terminal(node):
+        return node
+    level = manager.node_level(node)
+    if level > max(levels):
+        # Every quantified variable is above this node: nothing to abstract.
+        return node
+    key = ("quant", conjunction, node, levels)
+    cached = manager._op_cache.get(key)
+    if cached is not None:
+        return cached
+    low = _quantify(manager, manager.node_low(node), levels, conjunction)
+    high = _quantify(manager, manager.node_high(node), levels, conjunction)
+    if level in levels:
+        if conjunction:
+            result = manager.apply_and(low, high)
+        else:
+            result = manager.apply_or(low, high)
+    else:
+        result = manager.ite(
+            manager._mk(level, FALSE_ID, TRUE_ID), high, low)
+    manager._op_cache[key] = result
+    return result
+
+
+def and_exist(f: Function, g: Function, variables: Sequence[str]) -> Function:
+    """Relational product ``exists variables . (f & g)`` in one pass."""
+    manager = f.manager
+    if g.manager is not manager:
+        raise ValueError("cannot combine functions from different managers")
+    levels = _levels_of(manager, variables)
+    result = _and_exist(manager, f.node, g.node, levels)
+    return manager._wrap(result)
+
+
+def _and_exist(manager: BDDManager, f: int, g: int,
+               levels: FrozenSet[int]) -> int:
+    if f == FALSE_ID or g == FALSE_ID:
+        return FALSE_ID
+    if f == TRUE_ID and g == TRUE_ID:
+        return TRUE_ID
+    if f == TRUE_ID or g == TRUE_ID:
+        single = g if f == TRUE_ID else f
+        return _quantify(manager, single, levels, conjunction=False) \
+            if levels else single
+    key = ("andex", min(f, g), max(f, g), levels)
+    cached = manager._op_cache.get(key)
+    if cached is not None:
+        return cached
+    level = min(manager.node_level(f), manager.node_level(g))
+    f0, f1 = manager._cofactors_at(f, level)
+    g0, g1 = manager._cofactors_at(g, level)
+    if level in levels:
+        low = _and_exist(manager, f0, g0, levels)
+        if low == TRUE_ID:
+            result = TRUE_ID
+        else:
+            high = _and_exist(manager, f1, g1, levels)
+            result = manager.apply_or(low, high)
+    else:
+        low = _and_exist(manager, f0, g0, levels)
+        high = _and_exist(manager, f1, g1, levels)
+        result = manager._mk(level, low, high) if low != high else low
+    manager._op_cache[key] = result
+    return result
+
+
+# ----------------------------------------------------------------------
+# Cofactor / restrict
+# ----------------------------------------------------------------------
+def cofactor(f: Function, literals: Dict[str, bool]) -> Function:
+    """Cofactor of ``f`` with respect to a cube of literals.
+
+    ``literals`` maps variable names to the value they are fixed to.  The
+    result does not depend on the fixed variables; this corresponds to the
+    paper's cube-generalised cofactor ``f_c``.
+    """
+    manager = f.manager
+    if not literals:
+        return f
+    assignment = {manager.level_of(name): bool(value)
+                  for name, value in literals.items()}
+    frozen = frozenset(assignment.items())
+    result = _cofactor(manager, f.node, assignment, frozen)
+    return manager._wrap(result)
+
+
+def _cofactor(manager: BDDManager, node: int,
+              assignment: Dict[int, bool], frozen: FrozenSet) -> int:
+    if manager.is_terminal(node):
+        return node
+    level = manager.node_level(node)
+    if level > max(assignment):
+        return node
+    key = ("cof", node, frozen)
+    cached = manager._op_cache.get(key)
+    if cached is not None:
+        return cached
+    if level in assignment:
+        child = (manager.node_high(node) if assignment[level]
+                 else manager.node_low(node))
+        result = _cofactor(manager, child, assignment, frozen)
+    else:
+        low = _cofactor(manager, manager.node_low(node), assignment, frozen)
+        high = _cofactor(manager, manager.node_high(node), assignment, frozen)
+        result = manager._mk(level, low, high) if low != high else low
+    manager._op_cache[key] = result
+    return result
+
+
+def restrict(f: Function, literals: Dict[str, bool]) -> Function:
+    """Alias of :func:`cofactor` (classical name)."""
+    return cofactor(f, literals)
+
+
+# ----------------------------------------------------------------------
+# Composition and renaming
+# ----------------------------------------------------------------------
+def compose(f: Function, substitutions: Dict[str, Function]) -> Function:
+    """Simultaneous composition: replace each variable by a function.
+
+    Implemented by a single recursive pass that rebuilds the function with
+    ``ite`` at substituted variables, so simultaneous substitution is exact
+    (no sequential-composition artefacts).
+    """
+    manager = f.manager
+    if not substitutions:
+        return f
+    by_level: Dict[int, int] = {}
+    for name, g in substitutions.items():
+        if g.manager is not manager:
+            raise ValueError("substitution functions must share the manager")
+        by_level[manager.level_of(name)] = g.node
+    frozen = frozenset(by_level.items())
+    result = _compose(manager, f.node, by_level, frozen)
+    return manager._wrap(result)
+
+
+def _compose(manager: BDDManager, node: int, by_level: Dict[int, int],
+             frozen: FrozenSet) -> int:
+    if manager.is_terminal(node):
+        return node
+    key = ("compose", node, frozen)
+    cached = manager._op_cache.get(key)
+    if cached is not None:
+        return cached
+    level = manager.node_level(node)
+    low = _compose(manager, manager.node_low(node), by_level, frozen)
+    high = _compose(manager, manager.node_high(node), by_level, frozen)
+    replacement = by_level.get(level)
+    if replacement is None:
+        replacement = manager._mk(level, FALSE_ID, TRUE_ID)
+    result = manager.ite(replacement, high, low)
+    manager._op_cache[key] = result
+    return result
+
+
+def rename(f: Function, mapping: Dict[str, str]) -> Function:
+    """Rename variables according to ``mapping`` (old name -> new name).
+
+    Every target variable must already be declared.  Renaming is a special
+    case of composition with projection functions.
+    """
+    manager = f.manager
+    substitutions = {}
+    for old, new in mapping.items():
+        if new not in manager.variables:
+            raise BDDOrderError(f"rename target {new!r} is not declared")
+        substitutions[old] = manager.var(new)
+    return compose(f, substitutions)

@@ -1,0 +1,140 @@
+"""Command-line interface: ``stg-check``.
+
+Check the implementability of an STG given as a ``.g`` file or as one of
+the built-in examples, using either the symbolic (default) or the explicit
+engine::
+
+    stg-check handshake
+    stg-check muller_pipeline --scale 8
+    stg-check path/to/spec.g --explicit
+    stg-check mutex_element --arbitration p_me
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.core.checker import ImplementabilityChecker
+from repro.core.encoding import ORDERING_STRATEGIES
+from repro.sg.builder import infer_initial_values
+from repro.sg.checker import ExplicitChecker
+from repro.stg.generators import FIXED_EXAMPLES, SCALABLE_FAMILIES, build_example
+from repro.stg.parser import read_g_file
+from repro.stg.validate import validate_structure
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="stg-check",
+        description="Check Signal Transition Graph implementability "
+                    "(symbolic BDD traversal, Kondratyev et al. 1995).")
+    parser.add_argument(
+        "specification",
+        help="path to a .g file or the name of a built-in example "
+             f"({', '.join(sorted(FIXED_EXAMPLES))}; scalable families: "
+             f"{', '.join(sorted(SCALABLE_FAMILIES))})")
+    parser.add_argument("--scale", type=int, default=None,
+                        help="scale parameter for scalable families")
+    parser.add_argument("--explicit", action="store_true",
+                        help="use the explicit enumeration engine instead "
+                             "of the symbolic one")
+    parser.add_argument("--ordering", choices=list(ORDERING_STRATEGIES),
+                        default="force",
+                        help="BDD variable ordering strategy (symbolic only)")
+    parser.add_argument("--arbitration", nargs="*", default=[],
+                        metavar="PLACE",
+                        help="places to treat as arbitration points")
+    parser.add_argument("--infer-initial-values", action="store_true",
+                        help="infer missing initial signal values before "
+                             "checking")
+    parser.add_argument("--validate-only", action="store_true",
+                        help="only run the structural validation")
+    parser.add_argument("--liveness", action="store_true",
+                        help="additionally report deadlocks and reversibility "
+                             "(symbolic engine only)")
+    parser.add_argument("--synthesize", action="store_true",
+                        help="derive and print the complex-gate equations "
+                             "when the specification is gate-implementable")
+    return parser
+
+
+def load_specification(name: str, scale: Optional[int]):
+    """Load a ``.g`` file or instantiate a built-in example."""
+    if os.path.exists(name):
+        return read_g_file(name)
+    return build_example(name, scale)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``stg-check`` console script."""
+    parser = build_argument_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        stg = load_specification(arguments.specification, arguments.scale)
+    except Exception as error:  # pragma: no cover - user input path
+        parser.error(str(error))
+        return 2
+
+    validation = validate_structure(stg)
+    if validation.issues:
+        print(validation)
+    if arguments.validate_only:
+        return 0 if validation.valid else 1
+    if not validation.valid:
+        print("structural validation failed; aborting the behavioural check")
+        return 1
+
+    if arguments.infer_initial_values or not stg.has_complete_initial_values():
+        stg.set_initial_values(infer_initial_values(stg))
+
+    if arguments.explicit:
+        checker = ExplicitChecker(stg,
+                                  arbitration_places=arguments.arbitration)
+    else:
+        checker = ImplementabilityChecker(
+            stg, arbitration_places=arguments.arbitration,
+            ordering=arguments.ordering)
+    report = checker.check()
+    print(report.summary())
+
+    if arguments.liveness or arguments.synthesize:
+        _run_extras(stg, arguments, report)
+    return 0 if report.io_implementable else 1
+
+
+def _run_extras(stg, arguments, report) -> None:
+    """Optional liveness analysis and logic derivation (symbolic engine)."""
+    from repro.core.deadlock import check_deadlock_freedom, check_reversibility
+    from repro.core.encoding import SymbolicEncoding
+    from repro.core.image import SymbolicImage
+    from repro.core.traversal import symbolic_traversal
+    from repro.synthesis import synthesize_complex_gates
+    from repro.synthesis.functions import SynthesisError
+
+    encoding = SymbolicEncoding(stg, ordering=arguments.ordering)
+    image = SymbolicImage(encoding)
+    reached, _ = symbolic_traversal(encoding, image=image)
+    if arguments.liveness:
+        print(f"  liveness: "
+              f"{check_deadlock_freedom(encoding, reached, image.charfun)}; "
+              f"{check_reversibility(encoding, reached, image)}")
+    if arguments.synthesize:
+        if not report.gate_implementable:
+            print("  synthesis skipped: the specification is not "
+                  "gate-implementable")
+            return
+        try:
+            gates = synthesize_complex_gates(encoding, reached, image.charfun)
+        except SynthesisError as error:
+            print(f"  synthesis failed: {error}")
+            return
+        print("  derived complex-gate equations:")
+        for gate in gates.values():
+            print(f"    {gate}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Symbolic consistency check (Section 5.1).
+
+The characteristic function of inconsistent states is
+
+    Inconsistent(a+) = E(a+) . a      (a+ enabled while a is already 1)
+    Inconsistent(a-) = E(a-) . a'     (a- enabled while a is already 0)
+    Inconsistent(a)  = Inconsistent(a+) + Inconsistent(a-)
+    Inconsistent(D)  = sum over all signals
+
+and the STG is inconsistent iff the reachable set intersects it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bdd import Function
+from repro.core.charfun import CharacteristicFunctions
+from repro.core.encoding import SymbolicEncoding
+
+
+@dataclass
+class SymbolicConsistencyResult:
+    """Outcome of the symbolic consistency check."""
+
+    consistent: bool
+    violating_signals: List[str] = field(default_factory=list)
+    witnesses: Dict[str, dict] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        if self.consistent:
+            return "consistent state assignment"
+        return ("inconsistent state assignment for signals "
+                + ", ".join(self.violating_signals))
+
+
+def inconsistent_states(encoding: SymbolicEncoding,
+                        charfun: CharacteristicFunctions,
+                        signal: str) -> Function:
+    """``Inconsistent(a)`` for one signal."""
+    variable = encoding.signal(signal)
+    rising = charfun.generic_enabled(signal, "+") & variable
+    falling = charfun.generic_enabled(signal, "-") & ~variable
+    return rising | falling
+
+
+def check_consistency(encoding: SymbolicEncoding, reached: Function,
+                      charfun: Optional[CharacteristicFunctions] = None
+                      ) -> SymbolicConsistencyResult:
+    """Intersect the reachable set with the inconsistency functions."""
+    charfun = charfun or CharacteristicFunctions(encoding)
+    violating: List[str] = []
+    witnesses: Dict[str, dict] = {}
+    for signal in encoding.stg.signals:
+        bad = reached & inconsistent_states(encoding, charfun, signal)
+        if bad.is_false():
+            continue
+        violating.append(signal)
+        model = bad.pick_one(encoding.all_variables)
+        if model is not None:
+            witnesses[signal] = encoding.decode_state(model)
+    return SymbolicConsistencyResult(not violating, violating, witnesses)

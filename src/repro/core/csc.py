@@ -1,0 +1,122 @@
+"""Symbolic Complete State Coding check (Section 5.3).
+
+For each non-input signal ``a`` the excitation and quiescent regions are
+projected onto the signal variables (the binary codes) by existentially
+abstracting the place variables:
+
+    ER(a+) = exists_P ( R . E(a+) )
+    ER(a-) = exists_P ( R . E(a-) )
+    QR(a+) = exists_P ( R . a  . not E(a-) )
+    QR(a-) = exists_P ( R . a' . not E(a+) )
+
+and CSC(a) holds iff ``ER(a+) n QR(a-)`` and ``ER(a-) n QR(a+)`` are both
+empty.  USC (unique state coding) is additionally reported by comparing
+the number of reachable full states with the number of distinct codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bdd import Function
+from repro.core.charfun import CharacteristicFunctions
+from repro.core.encoding import SymbolicEncoding
+
+
+@dataclass
+class SignalRegionsSymbolic:
+    """Region characteristic functions of one signal.
+
+    ``er_plus`` / ``er_minus`` / ``qr_plus`` / ``qr_minus`` are functions
+    over the *signal* variables only (codes); the ``*_states`` variants
+    keep the place variables (full states) for use by the reducibility
+    check.
+    """
+
+    signal: str
+    er_plus: Function
+    er_minus: Function
+    qr_plus: Function
+    qr_minus: Function
+    er_plus_states: Function
+    er_minus_states: Function
+    qr_plus_states: Function
+    qr_minus_states: Function
+
+    @property
+    def contradictory_codes(self) -> Function:
+        """``CONT(a)``: codes breaking CSC for this signal."""
+        return (self.er_plus & self.qr_minus) | (self.er_minus & self.qr_plus)
+
+
+@dataclass
+class SymbolicCSCResult:
+    """Outcome of the symbolic CSC check."""
+
+    csc: bool
+    usc: bool
+    violating_signals: List[str] = field(default_factory=list)
+    witnesses: Dict[str, dict] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        if self.csc:
+            return "CSC satisfied"
+        return "CSC violated for " + ", ".join(self.violating_signals)
+
+
+def compute_regions(encoding: SymbolicEncoding, reached: Function,
+                    charfun: CharacteristicFunctions,
+                    signal: str) -> SignalRegionsSymbolic:
+    """Excitation / quiescent regions of one signal."""
+    places = encoding.place_variables
+    variable = encoding.signal(signal)
+    e_plus = charfun.generic_enabled(signal, "+")
+    e_minus = charfun.generic_enabled(signal, "-")
+    er_plus_states = reached & e_plus
+    er_minus_states = reached & e_minus
+    qr_plus_states = (reached & variable) - e_minus
+    qr_minus_states = (reached & ~variable) - e_plus
+    return SignalRegionsSymbolic(
+        signal=signal,
+        er_plus=er_plus_states.exist(places),
+        er_minus=er_minus_states.exist(places),
+        qr_plus=qr_plus_states.exist(places),
+        qr_minus=qr_minus_states.exist(places),
+        er_plus_states=er_plus_states,
+        er_minus_states=er_minus_states,
+        qr_plus_states=qr_plus_states,
+        qr_minus_states=qr_minus_states,
+    )
+
+
+def check_csc(encoding: SymbolicEncoding, reached: Function,
+              charfun: Optional[CharacteristicFunctions] = None,
+              signals: Optional[List[str]] = None) -> SymbolicCSCResult:
+    """CSC over all non-input signals (or an explicit signal list)."""
+    charfun = charfun or CharacteristicFunctions(encoding)
+    to_check = signals if signals is not None \
+        else encoding.stg.noninput_signals
+    violating: List[str] = []
+    witnesses: Dict[str, dict] = {}
+    for signal in to_check:
+        regions = compute_regions(encoding, reached, charfun, signal)
+        conflict = regions.contradictory_codes
+        if conflict.is_false():
+            continue
+        violating.append(signal)
+        model = conflict.pick_one(encoding.signal_variables)
+        if model is not None:
+            code = {s: bool(model.get(encoding.signal_variable(s), False))
+                    for s in encoding.stg.signals}
+            witnesses[signal] = {"code": code}
+    usc = _check_usc(encoding, reached)
+    return SymbolicCSCResult(not violating, usc, violating, witnesses)
+
+
+def _check_usc(encoding: SymbolicEncoding, reached: Function) -> bool:
+    """USC: every reachable full state has a distinct binary code."""
+    num_states = encoding.count_states(reached)
+    codes = reached.exist(encoding.place_variables)
+    num_codes = codes.sat_count(care_vars=encoding.signal_variables)
+    return num_states == num_codes

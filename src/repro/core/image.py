@@ -1,0 +1,126 @@
+"""Symbolic transition functions (Section 4).
+
+``delta_N`` transforms a set of markings by firing one transition:
+
+    delta_N(M, t) = ((M_{E(t)} . NPM(t))_{NSM(t)}) . ASM(t)
+
+``delta_D`` extends it to STG full states by updating the variable of the
+fired signal (cofactor with respect to the old value, conjunction with the
+new value).  The inverse functions used by the backward traversal of the
+CSC-reducibility check are also provided; they handle self-loop places
+(``p`` in both the preset and the postset) explicitly.
+
+All functions operate on characteristic functions over the variables of a
+:class:`~repro.core.encoding.SymbolicEncoding` and never enumerate states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.bdd import Function
+from repro.core.charfun import CharacteristicFunctions
+from repro.core.encoding import SymbolicEncoding
+
+
+class SymbolicImage:
+    """Forward and backward symbolic firing for one encoded STG."""
+
+    def __init__(self, encoding: SymbolicEncoding,
+                 charfun: Optional[CharacteristicFunctions] = None) -> None:
+        self.encoding = encoding
+        self.charfun = charfun or CharacteristicFunctions(encoding)
+
+    # ------------------------------------------------------------------
+    # Petri-net level
+    # ------------------------------------------------------------------
+    def fire_net(self, states: Function, transition: str) -> Function:
+        """``delta_N(states, t)``: the paper's cofactor/product pipeline."""
+        charfun = self.charfun
+        result = states.cofactor(charfun.enabled_literals(transition))
+        result = result & charfun.no_predecessor_marked(transition)
+        result = result.cofactor(charfun.no_successor_literals(transition))
+        result = result & charfun.all_successors_marked(transition)
+        return result
+
+    def fire_net_backward(self, states: Function, transition: str) -> Function:
+        """Inverse of :meth:`fire_net`: predecessors of ``states`` under ``t``.
+
+        Self-loop places (in both the preset and the postset of ``t``) stay
+        marked across the firing, so they are selected at 1 on the target
+        side and restored to 1 on the source side.
+        """
+        net = self.encoding.stg.net
+        preset = net.preset_of_transition(transition)
+        postset = net.postset_of_transition(transition)
+        both = preset & postset
+        pre_only = preset - both
+        post_only = postset - both
+        place = self.encoding.place_variable
+        select = {place(p): True for p in post_only}
+        select.update({place(p): True for p in both})
+        select.update({place(p): False for p in pre_only})
+        restore = {place(p): True for p in pre_only}
+        restore.update({place(p): False for p in post_only})
+        restore.update({place(p): True for p in both})
+        result = states.cofactor(select)
+        return result & self.encoding.manager.cube(restore)
+
+    # ------------------------------------------------------------------
+    # STG level (marking + signal code)
+    # ------------------------------------------------------------------
+    def fire(self, states: Function, transition: str) -> Function:
+        """``delta_D(states, t)``: fire ``t`` and update its signal variable.
+
+        Following the paper, the cofactor with respect to the *old* signal
+        value drops source states that would violate consistency (those are
+        reported separately by :mod:`repro.core.consistency`).
+        """
+        label = self.encoding.stg.label_of(transition)
+        variable = self.encoding.signal_variable(label.signal)
+        after_net = self.fire_net(states, transition)
+        old_value = not label.target_value
+        selected = after_net.cofactor({variable: old_value})
+        new_literal = (self.encoding.manager.var(variable)
+                       if label.target_value
+                       else self.encoding.manager.nvar(variable))
+        return selected & new_literal
+
+    def fire_backward(self, states: Function, transition: str) -> Function:
+        """Inverse of :meth:`fire`: predecessors under ``t`` with signal undo."""
+        label = self.encoding.stg.label_of(transition)
+        variable = self.encoding.signal_variable(label.signal)
+        selected = states.cofactor({variable: label.target_value})
+        old_literal = (self.encoding.manager.nvar(variable)
+                       if label.target_value
+                       else self.encoding.manager.var(variable))
+        before_signal = selected & old_literal
+        return self.fire_net_backward(before_signal, transition)
+
+    # ------------------------------------------------------------------
+    # Images over transition sets
+    # ------------------------------------------------------------------
+    def image(self, states: Function,
+              transitions: Optional[Iterable[str]] = None) -> Function:
+        """Union of ``delta_D(states, t)`` over ``transitions`` (default all)."""
+        if transitions is None:
+            transitions = self.encoding.stg.transitions
+        result = self.encoding.manager.false
+        for transition in transitions:
+            result = result | self.fire(states, transition)
+        return result
+
+    def preimage(self, states: Function,
+                 transitions: Optional[Iterable[str]] = None) -> Function:
+        """Union of backward firings over ``transitions`` (default all)."""
+        if transitions is None:
+            transitions = self.encoding.stg.transitions
+        result = self.encoding.manager.false
+        for transition in transitions:
+            result = result | self.fire_backward(states, transition)
+        return result
+
+    def input_transitions(self) -> list:
+        """Transitions labelled with *input* signals (for frozen traversals)."""
+        stg = self.encoding.stg
+        return [t for t in stg.transitions if stg.is_input(stg.signal_of(t))]

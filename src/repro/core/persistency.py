@@ -1,0 +1,153 @@
+"""Symbolic persistency checking (Figure 6 of the paper).
+
+Only pairs of transitions sharing an input place can disable each other in
+a safe net, so both algorithms iterate over the conflict places and their
+output transitions:
+
+* **transition persistency** (Figure 6a): ``ti`` is non-persistent when
+  some reachable marking enables both ``ti`` and ``tj`` and after firing
+  ``tj`` the transition ``ti`` is no longer enabled;
+* **signal persistency** (Figure 6b): as above but the *signal* of ``ti``
+  must stay enabled (another transition of the same signal counts).
+
+The signal-level check is then filtered by Definition 3.2: disabling an
+input by another input is environment choice (allowed); everything else is
+a violation unless it happens across a declared *arbitration place*
+(footnote to Definition 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.bdd import Function
+from repro.core.charfun import CharacteristicFunctions
+from repro.core.encoding import SymbolicEncoding
+from repro.core.image import SymbolicImage
+
+
+@dataclass
+class SymbolicPersistencyViolation:
+    """One disabling discovered by the symbolic check."""
+
+    fired: str
+    disabled: str
+    disabled_signal: str
+    signal_level: bool
+    witness: Optional[dict] = None
+
+    def __str__(self) -> str:
+        target = (f"signal {self.disabled_signal}" if self.signal_level
+                  else f"transition {self.disabled}")
+        return f"{target} disabled by firing {self.fired}"
+
+
+@dataclass
+class SymbolicPersistencyResult:
+    """Outcome of a symbolic persistency check."""
+
+    persistent: bool
+    violations: List[SymbolicPersistencyViolation] = field(default_factory=list)
+    arbitration_skips: int = 0
+
+    def violating_pairs(self) -> List[Tuple[str, str]]:
+        return sorted({(v.fired, v.disabled) for v in self.violations})
+
+
+def _conflict_groups(encoding: SymbolicEncoding) -> List[Tuple[str, List[str]]]:
+    """Conflict places and their output transitions (``|p*| > 1``)."""
+    net = encoding.stg.net
+    groups = []
+    for place in net.places:
+        successors = sorted(net.postset_of_place(place))
+        if len(successors) > 1:
+            groups.append((place, successors))
+    return groups
+
+
+def check_transition_persistency(encoding: SymbolicEncoding, reached: Function,
+                                 image: Optional[SymbolicImage] = None
+                                 ) -> SymbolicPersistencyResult:
+    """Figure 6(a): transition-level persistency over the reachable set."""
+    image = image or SymbolicImage(encoding)
+    charfun = image.charfun
+    violations: List[SymbolicPersistencyViolation] = []
+    seen: Set[Tuple[str, str]] = set()
+    for _place, transitions in _conflict_groups(encoding):
+        for disabled in transitions:
+            enabled = reached & charfun.enabled(disabled)
+            if enabled.is_false():
+                continue
+            for fired in transitions:
+                if fired == disabled or (fired, disabled) in seen:
+                    continue
+                both = enabled & charfun.enabled(fired)
+                if both.is_false():
+                    continue
+                after = image.fire(both, fired)
+                bad = after - charfun.enabled(disabled)
+                if bad.is_false():
+                    continue
+                seen.add((fired, disabled))
+                witness = bad.pick_one(encoding.all_variables)
+                violations.append(SymbolicPersistencyViolation(
+                    fired, disabled,
+                    encoding.stg.signal_of(disabled), False,
+                    encoding.decode_state(witness) if witness else None))
+    return SymbolicPersistencyResult(not violations, violations)
+
+
+def check_signal_persistency(encoding: SymbolicEncoding, reached: Function,
+                             image: Optional[SymbolicImage] = None,
+                             arbitration_places: Optional[Iterable[str]] = None
+                             ) -> SymbolicPersistencyResult:
+    """Figure 6(b) filtered by Definition 3.2.
+
+    Parameters
+    ----------
+    arbitration_places:
+        Conflicts whose shared place is in this set are tolerated.
+    """
+    image = image or SymbolicImage(encoding)
+    charfun = image.charfun
+    stg = encoding.stg
+    arbitration = set(arbitration_places or ())
+    violations: List[SymbolicPersistencyViolation] = []
+    skips = 0
+    seen: Set[Tuple[str, str]] = set()
+    for place, transitions in _conflict_groups(encoding):
+        for disabled in transitions:
+            disabled_signal = stg.signal_of(disabled)
+            enabled = reached & charfun.enabled(disabled)
+            if enabled.is_false():
+                continue
+            for fired in transitions:
+                if fired == disabled:
+                    continue
+                fired_signal = stg.signal_of(fired)
+                if fired_signal == disabled_signal:
+                    continue
+                # Definition 3.2 filtering.
+                disabled_is_input = stg.is_input(disabled_signal)
+                fired_is_input = stg.is_input(fired_signal)
+                if disabled_is_input and fired_is_input:
+                    continue  # environment choice
+                if (fired, disabled_signal) in seen:
+                    continue
+                both = enabled & charfun.enabled(fired)
+                if both.is_false():
+                    continue
+                after = image.fire(both, fired)
+                bad = after - charfun.signal_enabled(disabled_signal)
+                if bad.is_false():
+                    continue
+                if place in arbitration:
+                    skips += 1
+                    continue
+                seen.add((fired, disabled_signal))
+                witness = bad.pick_one(encoding.all_variables)
+                violations.append(SymbolicPersistencyViolation(
+                    fired, disabled, disabled_signal, True,
+                    encoding.decode_state(witness) if witness else None))
+    return SymbolicPersistencyResult(not violations, violations, skips)

@@ -1,0 +1,62 @@
+"""Symbolic safeness (1-boundedness) checking (Section 5.1, after [9]).
+
+The encoding uses one boolean variable per place, so only safe markings
+are representable; unsafe behaviour manifests as a reachable marking that
+enables a transition whose firing would add a token to a place that is
+already marked (and is not simultaneously consumed).  Detecting such an
+*overflow firing* is therefore a sound and complete safeness check for
+nets explored under safe semantics: the traversal reaches every marking up
+to the first overflow, and the overflow itself is caught here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.bdd import Function
+from repro.core.charfun import CharacteristicFunctions
+from repro.core.encoding import SymbolicEncoding
+
+
+@dataclass
+class SafenessResult:
+    """Outcome of the symbolic safeness check."""
+
+    safe: bool
+    overflows: List[Tuple[str, str]] = field(default_factory=list)
+    witness: Optional[dict] = None
+
+    def __str__(self) -> str:
+        if self.safe:
+            return "safe (1-bounded)"
+        pairs = ", ".join(f"{t} overflows {p}" for t, p in self.overflows[:5])
+        return f"not safe: {pairs}"
+
+
+def check_safeness(encoding: SymbolicEncoding, reached: Function,
+                   charfun: Optional[CharacteristicFunctions] = None
+                   ) -> SafenessResult:
+    """Detect overflow firings from the reachable set."""
+    charfun = charfun or CharacteristicFunctions(encoding)
+    net = encoding.stg.net
+    overflows: List[Tuple[str, str]] = []
+    witness = None
+    for transition in net.transitions:
+        preset = net.preset_of_transition(transition)
+        postset = net.postset_of_transition(transition)
+        overflow_places = postset - preset
+        if not overflow_places:
+            continue
+        enabled_states = reached & charfun.enabled(transition)
+        if enabled_states.is_false():
+            continue
+        for place in sorted(overflow_places):
+            bad = enabled_states & encoding.place(place)
+            if not bad.is_false():
+                overflows.append((transition, place))
+                if witness is None:
+                    model = bad.pick_one(encoding.all_variables)
+                    if model is not None:
+                        witness = encoding.decode_state(model)
+    return SafenessResult(not overflows, overflows, witness)

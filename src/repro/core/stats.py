@@ -1,0 +1,38 @@
+"""Statistics collected during symbolic traversal (Table 1 columns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class TraversalStats:
+    """Counters and sizes gathered by :func:`repro.core.traversal.symbolic_traversal`.
+
+    ``peak_nodes`` / ``final_nodes`` measure the BDD of the *Reached* set,
+    matching the "BDD size peak / final" columns of the paper's Table 1.
+    """
+
+    iterations: int = 0
+    images_computed: int = 0
+    peak_nodes: int = 0
+    final_nodes: int = 0
+    num_variables: int = 0
+    num_states: int = 0
+
+    def observe_reached(self, nodes: int) -> None:
+        """Record the current size of the Reached BDD."""
+        if nodes > self.peak_nodes:
+            self.peak_nodes = nodes
+        self.final_nodes = nodes
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "iterations": self.iterations,
+            "images": self.images_computed,
+            "bdd_peak": self.peak_nodes,
+            "bdd_final": self.final_nodes,
+            "variables": self.num_variables,
+            "states": self.num_states,
+        }

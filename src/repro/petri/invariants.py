@@ -1,0 +1,283 @@
+"""Place and transition invariants of Petri nets.
+
+A *P-invariant* is an integer weighting of the places that is preserved by
+every transition firing (``y^T C = 0`` for the incidence matrix ``C``); a
+*T-invariant* is a firing-count vector whose execution reproduces the
+marking (``C x = 0``).  Invariants are classical structural analysis tools
+for STGs:
+
+* a positive P-invariant covering every place proves boundedness without
+  any reachability analysis (each invariant bounds its places by the
+  invariant value of the initial marking);
+* the mutual-exclusion place of the paper's Figure 1 element is exposed by
+  the P-invariant ``p_me + sum(grant-holding places) = 1``;
+* T-invariants describe the cyclic behaviour (every signal must appear a
+  balanced number of times in a T-invariant of a consistent STG).
+
+The computation uses exact integer Gaussian elimination over the rationals
+(fractions), so no external numerical dependency is required and the
+results are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+
+
+@dataclass
+class Invariant:
+    """An integer invariant vector (over places or transitions)."""
+
+    weights: Dict[str, int]
+
+    @property
+    def support(self) -> List[str]:
+        """Names with a non-zero weight."""
+        return sorted(name for name, weight in self.weights.items() if weight)
+
+    def is_positive(self) -> bool:
+        """True when every non-zero weight is positive."""
+        return all(weight >= 0 for weight in self.weights.values()) \
+            and any(weight > 0 for weight in self.weights.values())
+
+    def value(self, marking: Marking) -> int:
+        """Weighted token sum of a marking (P-invariants only)."""
+        return sum(weight * marking[name]
+                   for name, weight in self.weights.items())
+
+    def __str__(self) -> str:
+        terms = []
+        for name in self.support:
+            weight = self.weights[name]
+            terms.append(name if weight == 1 else f"{weight}*{name}")
+        return " + ".join(terms) if terms else "0"
+
+
+def incidence_matrix(net: PetriNet) -> Tuple[List[str], List[str], List[List[int]]]:
+    """The incidence matrix ``C[p][t] = post(p,t) - pre(p,t)``.
+
+    Returns ``(places, transitions, matrix)`` with the matrix indexed
+    ``matrix[place_index][transition_index]``.
+    """
+    places = net.places
+    transitions = net.transitions
+    matrix = [[0] * len(transitions) for _ in places]
+    place_index = {p: i for i, p in enumerate(places)}
+    for column, transition in enumerate(transitions):
+        for place in net.preset_of_transition(transition):
+            matrix[place_index[place]][column] -= 1
+        for place in net.postset_of_transition(transition):
+            matrix[place_index[place]][column] += 1
+    return places, transitions, matrix
+
+
+def _null_space_integer(matrix: List[List[Fraction]]) -> List[List[Fraction]]:
+    """Basis of the (right) null space of ``matrix`` by Gaussian elimination."""
+    if not matrix:
+        return []
+    rows = [list(row) for row in matrix]
+    num_rows = len(rows)
+    num_cols = len(rows[0])
+    pivot_of_column: Dict[int, int] = {}
+    pivot_row = 0
+    for column in range(num_cols):
+        pivot = None
+        for row in range(pivot_row, num_rows):
+            if rows[row][column] != 0:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        rows[pivot_row], rows[pivot] = rows[pivot], rows[pivot_row]
+        factor = rows[pivot_row][column]
+        rows[pivot_row] = [value / factor for value in rows[pivot_row]]
+        for row in range(num_rows):
+            if row != pivot_row and rows[row][column] != 0:
+                scale = rows[row][column]
+                rows[row] = [value - scale * pivot_value
+                             for value, pivot_value in zip(rows[row],
+                                                           rows[pivot_row])]
+        pivot_of_column[column] = pivot_row
+        pivot_row += 1
+        if pivot_row == num_rows:
+            break
+    free_columns = [c for c in range(num_cols) if c not in pivot_of_column]
+    basis = []
+    for free in free_columns:
+        vector = [Fraction(0)] * num_cols
+        vector[free] = Fraction(1)
+        for column, row in pivot_of_column.items():
+            vector[column] = -rows[row][free]
+        basis.append(vector)
+    return basis
+
+
+def _scale_to_integers(vector: Sequence[Fraction]) -> List[int]:
+    """Scale a rational vector to the smallest integer multiple."""
+    denominators = [value.denominator for value in vector if value != 0]
+    if not denominators:
+        return [0] * len(vector)
+    multiplier = 1
+    for denominator in denominators:
+        multiplier = multiplier * denominator // _gcd(multiplier, denominator)
+    integers = [int(value * multiplier) for value in vector]
+    common = 0
+    for value in integers:
+        common = _gcd(common, abs(value))
+    if common > 1:
+        integers = [value // common for value in integers]
+    # Normalise the sign so the first non-zero entry is positive.
+    for value in integers:
+        if value != 0:
+            if value < 0:
+                integers = [-v for v in integers]
+            break
+    return integers
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def place_invariants(net: PetriNet) -> List[Invariant]:
+    """A basis of P-invariants (``y^T C = 0``)."""
+    places, _transitions, matrix = incidence_matrix(net)
+    # Solve y^T C = 0  <=>  C^T y = 0.
+    transposed = [[Fraction(matrix[p][t]) for p in range(len(places))]
+                  for t in range(len(matrix[0]))] if matrix else []
+    basis = _null_space_integer(transposed)
+    invariants = []
+    for vector in basis:
+        weights = _scale_to_integers(vector)
+        invariants.append(Invariant(dict(zip(places, weights))))
+    return invariants
+
+
+def transition_invariants(net: PetriNet) -> List[Invariant]:
+    """A basis of T-invariants (``C x = 0``)."""
+    places, transitions, matrix = incidence_matrix(net)
+    rational = [[Fraction(value) for value in row] for row in matrix]
+    basis = _null_space_integer(rational)
+    invariants = []
+    for vector in basis:
+        weights = _scale_to_integers(vector)
+        invariants.append(Invariant(dict(zip(transitions, weights))))
+    return invariants
+
+
+def positive_place_invariants(net: PetriNet,
+                              max_rows: int = 20_000) -> List[Invariant]:
+    """Minimal-support positive P-invariants (P-semiflows, Farkas algorithm).
+
+    The classical Farkas construction: start from ``[C | I]``, eliminate
+    the transition columns one by one by taking every positive combination
+    of a row with a positive entry and a row with a negative entry, and
+    keep only rows with minimal support.  The number of semiflows can be
+    exponential in principle; ``max_rows`` caps the intermediate table (a
+    :class:`ValueError` is raised when exceeded, which does not happen for
+    the nets of this project).
+    """
+    places, transitions, matrix = incidence_matrix(net)
+    if not places:
+        return []
+    # Rows: (C-part over transitions, identity part over places).
+    rows: List[Tuple[List[int], List[int]]] = []
+    for index, place in enumerate(places):
+        identity = [0] * len(places)
+        identity[index] = 1
+        rows.append(([matrix[index][t] for t in range(len(transitions))],
+                     identity))
+    for column in range(len(transitions)):
+        positive = [row for row in rows if row[0][column] > 0]
+        negative = [row for row in rows if row[0][column] < 0]
+        unchanged = [row for row in rows if row[0][column] == 0]
+        combined: List[Tuple[List[int], List[int]]] = list(unchanged)
+        for c_pos, y_pos in positive:
+            for c_neg, y_neg in negative:
+                alpha = abs(c_neg[column])
+                beta = c_pos[column]
+                new_c = [alpha * a + beta * b for a, b in zip(c_pos, c_neg)]
+                new_y = [alpha * a + beta * b for a, b in zip(y_pos, y_neg)]
+                common = 0
+                for value in new_c + new_y:
+                    common = _gcd(common, abs(value))
+                if common > 1:
+                    new_c = [value // common for value in new_c]
+                    new_y = [value // common for value in new_y]
+                combined.append((new_c, new_y))
+        if len(combined) > max_rows:
+            raise ValueError("semiflow computation exceeded the row budget")
+        rows = _minimal_support_rows(combined, len(places))
+    invariants = []
+    seen = set()
+    for _c_part, y_part in rows:
+        if not any(y_part):
+            continue
+        key = tuple(y_part)
+        if key in seen:
+            continue
+        seen.add(key)
+        invariants.append(Invariant(dict(zip(places, y_part))))
+    return invariants
+
+
+def _minimal_support_rows(rows: List[Tuple[List[int], List[int]]],
+                          num_places: int) -> List[Tuple[List[int], List[int]]]:
+    """Drop rows whose place-support strictly contains another row's support."""
+    supports = [frozenset(i for i in range(num_places) if row[1][i])
+                for row in rows]
+    keep = []
+    for index, row in enumerate(rows):
+        support = supports[index]
+        dominated = False
+        for other_index, other_support in enumerate(supports):
+            if other_index == index or not other_support:
+                continue
+            if other_support < support:
+                dominated = True
+                break
+        if not dominated:
+            keep.append(row)
+    return keep
+
+
+def is_covered_by_positive_place_invariants(net: PetriNet) -> bool:
+    """True when the positive P-semiflows cover every place.
+
+    A sufficient structural condition for boundedness: every place then
+    belongs to some conservative component.  (The check is conservative: a
+    net can be bounded without being covered.)
+    """
+    covered = set()
+    for invariant in positive_place_invariants(net):
+        if invariant.is_positive():
+            covered.update(invariant.support)
+    return covered == set(net.places) and bool(net.places)
+
+
+def structural_bound_from_invariants(net: PetriNet, place: str) -> int | None:
+    """An upper bound on the tokens of ``place`` derived from P-semiflows.
+
+    Returns ``None`` when no positive invariant with the place in its
+    support exists.  For a safe net the returned bound is typically 1.
+    """
+    net.place(place)
+    initial = net.initial_marking
+    best = None
+    for invariant in positive_place_invariants(net):
+        if not invariant.is_positive():
+            continue
+        weight = invariant.weights.get(place, 0)
+        if weight <= 0:
+            continue
+        bound = invariant.value(initial) // weight
+        if best is None or bound < best:
+            best = bound
+    return best

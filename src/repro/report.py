@@ -1,0 +1,169 @@
+"""Implementability reports shared by the explicit and symbolic checkers.
+
+Both :class:`repro.sg.checker.ExplicitChecker` and
+:class:`repro.core.checker.ImplementabilityChecker` fill the same
+:class:`ImplementabilityReport`, so results can be compared field by field
+(the test-suite does exactly that) and printed uniformly by the CLI, the
+examples and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class ImplementabilityClass(Enum):
+    """The hierarchy of Definition 2.6 (plus the failure class)."""
+
+    NOT_IMPLEMENTABLE = "not SI-implementable"
+    SI = "SI-implementable (interface may change)"
+    IO = "I/O-implementable"
+    GATE = "gate-implementable"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class PropertyVerdict:
+    """One checked property: verdict plus human-readable evidence."""
+
+    name: str
+    holds: bool
+    details: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        status = "OK " if self.holds else "FAIL"
+        text = f"[{status}] {self.name}"
+        if not self.holds and self.details:
+            shown = "; ".join(self.details[:3])
+            more = len(self.details) - 3
+            if more > 0:
+                shown += f"; ... ({more} more)"
+            text += f": {shown}"
+        return text
+
+
+@dataclass
+class ImplementabilityReport:
+    """Complete outcome of an implementability check of one STG."""
+
+    stg_name: str
+    method: str  # "explicit" or "symbolic"
+    # Size of the problem.
+    num_places: int = 0
+    num_transitions: int = 0
+    num_signals: int = 0
+    num_states: int = 0
+    # Property verdicts (None = not checked / not applicable).
+    bounded: Optional[bool] = None
+    safe: Optional[bool] = None
+    consistent: Optional[bool] = None
+    output_persistent: Optional[bool] = None
+    csc: Optional[bool] = None
+    usc: Optional[bool] = None
+    deterministic: Optional[bool] = None
+    commutative: Optional[bool] = None
+    complementary_free: Optional[bool] = None
+    fake_free: Optional[bool] = None
+    # Evidence.
+    verdicts: List[PropertyVerdict] = field(default_factory=list)
+    # Performance data (phase name -> seconds), mirroring Table 1 columns.
+    timings: Dict[str, float] = field(default_factory=dict)
+    # Symbolic-only statistics.
+    bdd_peak_nodes: Optional[int] = None
+    bdd_final_nodes: Optional[int] = None
+    bdd_variables: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Derived results
+    # ------------------------------------------------------------------
+    @property
+    def csc_reducible(self) -> Optional[bool]:
+        """CSC-reducibility: deterministic, commutative and free from
+        mutually complementary input sequences (Section 3.4)."""
+        parts = (self.deterministic, self.commutative, self.complementary_free)
+        if any(part is None for part in parts):
+            return None
+        return all(parts)
+
+    @property
+    def classification(self) -> ImplementabilityClass:
+        """Implementability class per Definition 2.6 / Propositions 3.1-3.2."""
+        basic = (bool(self.bounded) and bool(self.consistent)
+                 and bool(self.output_persistent))
+        if not basic:
+            return ImplementabilityClass.NOT_IMPLEMENTABLE
+        if self.csc:
+            return ImplementabilityClass.GATE
+        if self.csc_reducible:
+            return ImplementabilityClass.IO
+        return ImplementabilityClass.SI
+
+    @property
+    def io_implementable(self) -> bool:
+        """Proposition 3.2: bounded, consistent, persistent, CSC-reducible."""
+        return self.classification in (ImplementabilityClass.IO,
+                                       ImplementabilityClass.GATE)
+
+    @property
+    def gate_implementable(self) -> bool:
+        """CSC holds on top of the basic conditions."""
+        return self.classification is ImplementabilityClass.GATE
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.timings.values())
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def add_verdict(self, name: str, holds: bool,
+                    details: Optional[List[str]] = None) -> None:
+        self.verdicts.append(PropertyVerdict(name, holds, details or []))
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"STG {self.stg_name!r} ({self.method} check)",
+            (f"  size: {self.num_places} places, {self.num_transitions} "
+             f"transitions, {self.num_signals} signals, "
+             f"{self.num_states} states"),
+        ]
+        for verdict in self.verdicts:
+            lines.append(f"  {verdict}")
+        lines.append(f"  classification: {self.classification}")
+        if self.bdd_peak_nodes is not None:
+            lines.append(f"  BDD nodes: peak {self.bdd_peak_nodes}, "
+                         f"final {self.bdd_final_nodes} "
+                         f"({self.bdd_variables} variables)")
+        if self.timings:
+            rendered = ", ".join(f"{name} {value:.3f}s"
+                                 for name, value in self.timings.items())
+            lines.append(f"  time: {rendered} (total {self.total_time:.3f}s)")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary (used by the benchmark harness to print rows)."""
+        return {
+            "name": self.stg_name,
+            "method": self.method,
+            "places": self.num_places,
+            "transitions": self.num_transitions,
+            "signals": self.num_signals,
+            "states": self.num_states,
+            "bounded": self.bounded,
+            "safe": self.safe,
+            "consistent": self.consistent,
+            "persistent": self.output_persistent,
+            "csc": self.csc,
+            "usc": self.usc,
+            "csc_reducible": self.csc_reducible,
+            "fake_free": self.fake_free,
+            "classification": str(self.classification),
+            "bdd_peak": self.bdd_peak_nodes,
+            "bdd_final": self.bdd_final_nodes,
+            "timings": dict(self.timings),
+        }

@@ -1,0 +1,76 @@
+"""Explicit consistency check (Definition 3.1).
+
+The state assignment is consistent when every edge labelled ``a+`` goes
+from a state with ``a = 0`` to a state with ``a = 1`` (symmetrically for
+``a-``) and every other signal keeps its value across the edge.  Because
+:func:`repro.sg.builder.build_state_graph` always *sets* the target value,
+checking the source value of the switching signal is sufficient, but this
+module re-checks all three conditions independently so that it can also be
+applied to state graphs built by other means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.sg.state import StateGraph
+from repro.stg.stg import STG
+
+
+@dataclass
+class EdgeConsistencyViolation:
+    """A single edge breaking Definition 3.1."""
+
+    source_code: str
+    target_code: str
+    transition: str
+    reason: str
+
+    def __str__(self) -> str:
+        return (f"edge {self.source_code} --{self.transition}--> "
+                f"{self.target_code}: {self.reason}")
+
+
+@dataclass
+class ConsistencyResult:
+    """Outcome of the explicit consistency check."""
+
+    consistent: bool
+    violations: List[EdgeConsistencyViolation] = field(default_factory=list)
+
+    def violating_signals(self) -> List[str]:
+        """Signals mentioned in at least one violation."""
+        signals = set()
+        for violation in self.violations:
+            signals.add(violation.transition.split("+")[0].split("-")[0])
+        return sorted(signals)
+
+
+def check_consistency(graph: StateGraph, stg: STG) -> ConsistencyResult:
+    """Check every edge of the state graph against Definition 3.1."""
+    signals = stg.signals
+    violations: List[EdgeConsistencyViolation] = []
+    for source, transition, target in graph.edges():
+        label = stg.label_of(transition)
+        source_value = source.value_of(label.signal)
+        target_value = target.value_of(label.signal)
+        if label.is_rising and not (source_value is False and target_value is True):
+            violations.append(EdgeConsistencyViolation(
+                source.code_string(signals), target.code_string(signals),
+                transition,
+                f"{label.signal} must go 0 -> 1 on {transition}"))
+        if label.is_falling and not (source_value is True and target_value is False):
+            violations.append(EdgeConsistencyViolation(
+                source.code_string(signals), target.code_string(signals),
+                transition,
+                f"{label.signal} must go 1 -> 0 on {transition}"))
+        for other in signals:
+            if other == label.signal:
+                continue
+            if source.value_of(other) != target.value_of(other):
+                violations.append(EdgeConsistencyViolation(
+                    source.code_string(signals), target.code_string(signals),
+                    transition,
+                    f"{other} changes although the edge is labelled {transition}"))
+    return ConsistencyResult(not violations, violations)

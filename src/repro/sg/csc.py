@@ -1,0 +1,99 @@
+"""Explicit Complete State Coding (CSC) and Unique State Coding (USC) checks.
+
+Definition 3.4: the state graph satisfies CSC iff states sharing a binary
+code have identical sets of enabled *non-input* signals.  USC is the
+stronger classical condition that every state has a unique code; it is
+reported as well because the difference (USC fails, CSC holds) is a common
+and instructive situation.
+
+The region-based formulation of Section 5.3 is also provided
+(:func:`csc_conflicts_by_regions`) and the two are cross-checked in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.sg.regions import compute_regions
+from repro.sg.state import State, StateGraph
+from repro.stg.stg import STG
+
+
+@dataclass
+class CSCConflict:
+    """Two states with equal codes but different enabled non-input sets."""
+
+    code: str
+    first: State
+    second: State
+    first_enabled: FrozenSet[str]
+    second_enabled: FrozenSet[str]
+
+    @property
+    def conflicting_signals(self) -> FrozenSet[str]:
+        """Non-input signals enabled in exactly one of the two states."""
+        return self.first_enabled.symmetric_difference(self.second_enabled)
+
+    def __str__(self) -> str:
+        return (f"code {self.code}: enabled non-inputs "
+                f"{sorted(self.first_enabled)} vs {sorted(self.second_enabled)}")
+
+
+@dataclass
+class CSCResult:
+    """Outcome of the explicit CSC / USC check."""
+
+    csc: bool
+    usc: bool
+    conflicts: List[CSCConflict] = field(default_factory=list)
+
+    def conflicting_signals(self) -> List[str]:
+        signals: Set[str] = set()
+        for conflict in self.conflicts:
+            signals.update(conflict.conflicting_signals)
+        return sorted(signals)
+
+
+def check_csc(graph: StateGraph, stg: STG) -> CSCResult:
+    """State-pair based CSC and USC check (Definition 3.4)."""
+    groups = graph.states_by_code()
+    signals = stg.signals
+    usc = all(len(states) == 1 for states in groups.values())
+    conflicts: List[CSCConflict] = []
+    for code_set, states in groups.items():
+        if len(states) < 2:
+            continue
+        reference = states[0]
+        reference_enabled = graph.enabled_noninput_signals(reference)
+        for other in states[1:]:
+            other_enabled = graph.enabled_noninput_signals(other)
+            if other_enabled != reference_enabled:
+                conflicts.append(CSCConflict(
+                    reference.code_string(signals), reference, other,
+                    reference_enabled, other_enabled))
+    return CSCResult(not conflicts, usc, conflicts)
+
+
+def csc_conflicts_by_regions(graph: StateGraph, stg: STG,
+                             signal: str) -> Set[str]:
+    """Region formulation of Section 5.3 for one non-input signal.
+
+    Returns the set of binary codes in
+    ``(ER(a+) n QR(a-)) U (ER(a-) n QR(a+))`` -- the *contradictory* codes
+    ``CONT(a)``.  CSC holds for the signal iff the set is empty.
+    """
+    regions = compute_regions(graph, stg, signal)
+    signals = stg.signals
+    er_plus = regions.codes("er+", signals)
+    er_minus = regions.codes("er-", signals)
+    qr_plus = regions.codes("qr+", signals)
+    qr_minus = regions.codes("qr-", signals)
+    return (er_plus & qr_minus) | (er_minus & qr_plus)
+
+
+def check_csc_by_regions(graph: StateGraph, stg: STG) -> Dict[str, Set[str]]:
+    """Contradictory code sets for every non-input signal."""
+    return {signal: csc_conflicts_by_regions(graph, stg, signal)
+            for signal in stg.noninput_signals}

@@ -1,0 +1,144 @@
+"""Traces, projections and bounded trace equivalence.
+
+Definitions 2.3-2.5 of the paper compare behaviours through their trace
+sets and projections.  Full language equivalence of infinite behaviours is
+undecidable to enumerate naively, so this module offers the *bounded*
+variants used by the tests and the examples: the set of signal-transition
+traces up to a given length, projections onto signal subsets, unbalanced
+sets, and bounded trace / I-O equivalence of two specifications.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.sg.state import State, StateGraph
+from repro.stg.signals import SignalTransition
+from repro.stg.stg import STG
+
+Trace = Tuple[str, ...]
+
+
+def traces_up_to(graph: StateGraph, stg: STG, depth: int,
+                 generic: bool = True) -> Set[Trace]:
+    """All firing traces of length <= ``depth`` from the initial state.
+
+    With ``generic=True`` the traces record generic labels (``a+``) rather
+    than occurrence-indexed transition names (``a+/2``), which is what the
+    behavioural definitions of the paper compare.
+    """
+    results: Set[Trace] = {()}
+    frontier: List[Tuple[State, Trace]] = [(graph.initial, ())]
+    for _ in range(depth):
+        next_frontier: List[Tuple[State, Trace]] = []
+        for state, trace in frontier:
+            for transition, successor in graph.successors(state):
+                label = stg.label_of(transition)
+                symbol = label.generic if generic else transition
+                extended = trace + (symbol,)
+                if extended not in results:
+                    results.add(extended)
+                next_frontier.append((successor, extended))
+        frontier = next_frontier
+        if not frontier:
+            break
+    return results
+
+
+def projected_traces_up_to(graph: StateGraph, stg: STG,
+                           signals: Iterable[str], depth: int) -> Set[Trace]:
+    """Projected traces whose *projected* length is at most ``depth``.
+
+    Unlike projecting the result of :func:`traces_up_to`, transitions of
+    hidden signals do not consume depth, so two specifications that differ
+    only in inserted internal signals produce identical sets (up to the
+    bound).  Exploration is protected against unproductive cycles by
+    memoising ``(state, projected trace)`` pairs.
+    """
+    keep = set(signals)
+    results: Set[Trace] = {()}
+    seen = {(graph.initial, ())}
+    frontier: List[Tuple[State, Trace]] = [(graph.initial, ())]
+    while frontier:
+        next_frontier: List[Tuple[State, Trace]] = []
+        for state, trace in frontier:
+            for transition, successor in graph.successors(state):
+                label = stg.label_of(transition)
+                if label.signal in keep:
+                    extended = trace + (label.generic,)
+                    if len(extended) > depth:
+                        continue
+                else:
+                    extended = trace
+                key = (successor, extended)
+                if key in seen:
+                    continue
+                seen.add(key)
+                results.add(extended)
+                next_frontier.append((successor, extended))
+        frontier = next_frontier
+    return results
+
+
+def project(trace: Sequence[str], signals: Iterable[str]) -> Trace:
+    """Projection of a trace onto a signal subset (Definition 2.3)."""
+    keep = set(signals)
+    projected = []
+    for symbol in trace:
+        signal = SignalTransition.parse(symbol).signal
+        if signal in keep:
+            projected.append(symbol)
+    return tuple(projected)
+
+
+def project_traces(traces: Iterable[Trace], signals: Iterable[str]) -> Set[Trace]:
+    """Project every trace of a set (the paper's ``L(D) | S_B``)."""
+    return {project(trace, signals) for trace in traces}
+
+
+def unbalanced_set(trace: Sequence[str]) -> FrozenSet[str]:
+    """Signals whose numbers of ``+`` and ``-`` transitions differ in the trace.
+
+    This is the *unbalanced set* used by Definition 3.5(3).
+    """
+    balance: Dict[str, int] = {}
+    for symbol in trace:
+        label = SignalTransition.parse(symbol)
+        balance[label.signal] = balance.get(label.signal, 0) \
+            + (1 if label.is_rising else -1)
+    return frozenset(signal for signal, value in balance.items() if value != 0)
+
+
+def bounded_trace_equivalent(graph_a: StateGraph, stg_a: STG,
+                             graph_b: StateGraph, stg_b: STG,
+                             signals: Iterable[str], depth: int) -> bool:
+    """Bounded version of trace equivalence by a signal set (Definition 2.4).
+
+    Compares the projected trace sets up to a projected length of
+    ``depth`` (transitions of signals outside ``signals`` do not consume
+    depth).  Equality up to a bound does not prove full trace equivalence,
+    but inequality disproves it; for the small cyclic specifications of the
+    test-suite a depth that covers a full cycle of both systems is
+    conclusive in practice.
+    """
+    signals = list(signals)
+    traces_a = projected_traces_up_to(graph_a, stg_a, signals, depth)
+    traces_b = projected_traces_up_to(graph_b, stg_b, signals, depth)
+    return traces_a == traces_b
+
+
+def bounded_io_equivalent(graph_a: StateGraph, stg_a: STG,
+                          graph_b: StateGraph, stg_b: STG,
+                          depth: int) -> bool:
+    """Bounded I/O equivalence (Definition 2.5).
+
+    Requires equal input and output alphabets plus bounded trace
+    equivalence over the union of inputs and outputs.
+    """
+    if set(stg_a.inputs) != set(stg_b.inputs):
+        return False
+    if set(stg_a.outputs) != set(stg_b.outputs):
+        return False
+    observable = set(stg_a.inputs) | set(stg_a.outputs)
+    return bounded_trace_equivalent(graph_a, stg_a, graph_b, stg_b,
+                                    observable, depth)

@@ -1,0 +1,33 @@
+"""Signal Transition Graphs (STGs).
+
+An STG is a Petri net whose transitions are interpreted as rising (``a+``)
+or falling (``a-``) transitions of circuit signals, partitioned into
+inputs, outputs and internal signals (Definition 2.1 of the paper).
+
+Contents:
+
+* :mod:`repro.stg.signals` -- signal kinds and transition labels,
+* :mod:`repro.stg.stg` -- the :class:`~repro.stg.stg.STG` class,
+* :mod:`repro.stg.parser` / :mod:`repro.stg.writer` -- the ``.g`` (ASTG)
+  interchange format,
+* :mod:`repro.stg.validate` -- structural validation and conflict
+  candidates,
+* :mod:`repro.stg.generators` -- the paper's figures and the scalable
+  benchmark families used by Table 1.
+"""
+
+from repro.stg.signals import SignalKind, SignalTransition, STGError
+from repro.stg.stg import STG
+from repro.stg.parser import parse_g, read_g_file
+from repro.stg.writer import write_g, to_g_string
+
+__all__ = [
+    "SignalKind",
+    "SignalTransition",
+    "STGError",
+    "STG",
+    "parse_g",
+    "read_g_file",
+    "write_g",
+    "to_g_string",
+]

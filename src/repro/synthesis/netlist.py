@@ -1,0 +1,146 @@
+"""Netlist emission for the derived logic.
+
+Turns the gates produced by :mod:`repro.synthesis.complex_gate` into a
+small structural netlist, in two flavours:
+
+* a plain-text netlist listing one equation per non-input signal (complex
+  gates) or one set/reset pair per signal (generalised C-elements);
+* a behavioural Verilog module where each complex gate becomes a
+  continuous assignment (combinational feedback is intentional: that is
+  what a complex-gate speed-independent implementation is) and each gC
+  element becomes a set/reset always-block.
+
+The emitted text is meant for inspection and for hand-off to downstream
+technology mapping; it is deliberately free of tool-specific pragmas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bdd.cover import cube_to_string
+from repro.stg.stg import STG
+from repro.synthesis.complex_gate import ComplexGate, GeneralizedCElement
+
+
+def _verilog_cover(cover: List[Dict[str, bool]]) -> str:
+    """Render a cube list as a Verilog sum-of-products expression."""
+    if not cover:
+        return "1'b0"
+    terms = []
+    for cube in cover:
+        if not cube:
+            return "1'b1"
+        literals = [name if value else f"~{name}"
+                    for name, value in sorted(cube.items())]
+        terms.append(" & ".join(literals))
+    return " | ".join(f"({term})" for term in terms)
+
+
+def complex_gate_netlist(stg: STG, gates: Dict[str, ComplexGate]) -> str:
+    """Plain-text netlist: one next-state equation per non-input signal."""
+    lines = [f"# complex-gate netlist for {stg.name}",
+             f"# inputs : {' '.join(stg.inputs)}",
+             f"# outputs: {' '.join(stg.outputs)}"]
+    if stg.internals:
+        lines.append(f"# internal: {' '.join(stg.internals)}")
+    for signal in stg.noninput_signals:
+        gate = gates.get(signal)
+        if gate is None:
+            continue
+        lines.append(f"{signal} = {gate.equation}")
+    return "\n".join(lines) + "\n"
+
+
+def gc_netlist(stg: STG, elements: Dict[str, GeneralizedCElement]) -> str:
+    """Plain-text netlist of generalised C-elements (set / reset covers)."""
+    lines = [f"# generalised C-element netlist for {stg.name}"]
+    for signal in stg.noninput_signals:
+        element = elements.get(signal)
+        if element is None:
+            continue
+        lines.append(f"{signal}.set   = {element.set_equation}")
+        lines.append(f"{signal}.reset = {element.reset_equation}")
+    return "\n".join(lines) + "\n"
+
+
+def to_verilog(stg: STG, gates: Dict[str, ComplexGate],
+               module_name: str | None = None) -> str:
+    """Behavioural Verilog with one continuous assignment per complex gate."""
+    module = module_name or _identifier(stg.name)
+    inputs = [_identifier(s) for s in stg.inputs]
+    outputs = [_identifier(s) for s in stg.outputs]
+    internals = [_identifier(s) for s in stg.internals]
+    ports = ", ".join(inputs + outputs)
+    lines = [f"// Derived from STG {stg.name!r} (complex-gate implementation).",
+             f"module {module} ({ports});"]
+    for name in inputs:
+        lines.append(f"  input  {name};")
+    for name in outputs:
+        lines.append(f"  output {name};")
+    for name in internals:
+        lines.append(f"  wire   {name};")
+    lines.append("")
+    for signal in stg.noninput_signals:
+        gate = gates.get(signal)
+        if gate is None:
+            continue
+        renamed_cover = [
+            {_identifier(name): value for name, value in cube.items()}
+            for cube in gate.cover
+        ]
+        lines.append(f"  assign {_identifier(signal)} = "
+                     f"{_verilog_cover(renamed_cover)};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def to_verilog_gc(stg: STG, elements: Dict[str, GeneralizedCElement],
+                  module_name: str | None = None) -> str:
+    """Behavioural Verilog where each signal is a set/reset latch (gC)."""
+    module = module_name or (_identifier(stg.name) + "_gc")
+    inputs = [_identifier(s) for s in stg.inputs]
+    outputs = [_identifier(s) for s in stg.outputs]
+    internals = [_identifier(s) for s in stg.internals]
+    ports = ", ".join(inputs + outputs)
+    lines = [f"// Derived from STG {stg.name!r} (gC implementation).",
+             f"module {module} ({ports});"]
+    for name in inputs:
+        lines.append(f"  input  {name};")
+    for name in outputs:
+        lines.append(f"  output reg {name};")
+    for name in internals:
+        lines.append(f"  reg    {name};")
+    lines.append("")
+    for signal in stg.noninput_signals:
+        element = elements.get(signal)
+        if element is None:
+            continue
+        set_expr = _verilog_cover([
+            {_identifier(n): v for n, v in cube.items()}
+            for cube in element.set_cover])
+        reset_expr = _verilog_cover([
+            {_identifier(n): v for n, v in cube.items()}
+            for cube in element.reset_cover])
+        target = _identifier(signal)
+        lines.append(f"  always @* begin")
+        lines.append(f"    if ({set_expr}) {target} = 1'b1;")
+        lines.append(f"    else if ({reset_expr}) {target} = 1'b0;")
+        lines.append(f"  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def _identifier(name: str) -> str:
+    """Sanitise a signal/module name into a Verilog identifier."""
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "m_" + cleaned
+    return cleaned
+
+
+def cover_as_text(cover: List[Dict[str, bool]]) -> str:
+    """Helper mirroring :func:`repro.bdd.cover.cube_to_string` for lists."""
+    if not cover:
+        return "0"
+    return " + ".join(cube_to_string(cube) for cube in cover)

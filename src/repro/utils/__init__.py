@@ -1,0 +1,5 @@
+"""Small shared utilities (timing, deterministic naming)."""
+
+from repro.utils.timing import Stopwatch, PhaseTimer
+
+__all__ = ["Stopwatch", "PhaseTimer"]

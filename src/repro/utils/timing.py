@@ -1,0 +1,74 @@
+"""Timing utilities used by the checker and the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, Optional
+from contextlib import contextmanager
+
+
+class Stopwatch:
+    """A simple cumulative stopwatch.
+
+    >>> watch = Stopwatch()
+    >>> with watch:
+    ...     pass
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started: Optional[float] = None
+
+    def start(self) -> None:
+        if self._started is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("stopwatch not running")
+        delta = time.perf_counter() - self._started
+        self.elapsed += delta
+        self._started = None
+        return delta
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase.
+
+    Mirrors the columns of the paper's Table 1 (T+C, NI-p, CSC, Total).
+    """
+
+    def __init__(self) -> None:
+        self._phases: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._phases[name] = self._phases.get(name, 0.0) + elapsed
+
+    def get(self, name: str) -> float:
+        """Seconds accumulated in a phase (0.0 if the phase never ran)."""
+        return self._phases.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum of every recorded phase."""
+        return sum(self._phases.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Copy of the per-phase timings."""
+        return dict(self._phases)

@@ -1,0 +1,166 @@
+"""Tests for characteristic functions and the symbolic transition function.
+
+The symbolic firing is validated against the explicit Petri-net/STG firing
+rule state by state on several examples, which is the strongest functional
+guarantee the rest of the engine builds upon.
+"""
+
+import pytest
+
+from repro.core.charfun import CharacteristicFunctions
+from repro.core.encoding import SymbolicEncoding
+from repro.core.image import SymbolicImage
+from repro.sg import build_state_graph
+from repro.sg.state import State
+from repro.stg.generators import (
+    csc_violation_example,
+    fake_conflict_d1,
+    handshake,
+    irreducible_csc_example,
+    master_read,
+    muller_pipeline,
+    mutex_element,
+)
+
+
+@pytest.fixture
+def mutex_setup():
+    stg = mutex_element()
+    encoding = SymbolicEncoding(stg)
+    return stg, encoding, CharacteristicFunctions(encoding), SymbolicImage(encoding)
+
+
+class TestCharacteristicFunctions:
+    def test_enabled_cube(self, mutex_setup):
+        stg, encoding, charfun, _ = mutex_setup
+        enabled = charfun.enabled("g1+")
+        # g1+ needs its request place and the shared mutual exclusion place.
+        assert set(enabled.support()) == {
+            encoding.place_variable("<r1+,g1+>"),
+            encoding.place_variable("p_me"),
+        }
+
+    def test_enabled_matches_markings(self, mutex_setup):
+        stg, encoding, charfun, _ = mutex_setup
+        graph = build_state_graph(stg).graph
+        for state in graph.states:
+            minterm = encoding.marking_minterm(state.marking)
+            for transition in stg.transitions:
+                symbolically_enabled = not (
+                    minterm & charfun.enabled(transition)).is_false()
+                assert symbolically_enabled == stg.net.is_enabled(
+                    transition, state.marking)
+
+    def test_npm_nsm_asm_supports(self, mutex_setup):
+        stg, encoding, charfun, _ = mutex_setup
+        for transition in stg.transitions:
+            preset = {encoding.place_variable(p)
+                      for p in stg.net.preset_of_transition(transition)}
+            postset = {encoding.place_variable(p)
+                       for p in stg.net.postset_of_transition(transition)}
+            assert set(charfun.no_predecessor_marked(transition).support()) == preset
+            assert set(charfun.all_successors_marked(transition).support()) == postset
+            assert set(charfun.no_successor_marked(transition).support()) == postset
+
+    def test_signal_enabled_is_union(self, mutex_setup):
+        stg, encoding, charfun, _ = mutex_setup
+        union = charfun.enabled("r1+") | charfun.enabled("r1-")
+        assert charfun.signal_enabled("r1") == union
+
+    def test_generic_enabled_selects_polarity(self):
+        stg = csc_violation_example()
+        encoding = SymbolicEncoding(stg)
+        charfun = CharacteristicFunctions(encoding)
+        generic = charfun.generic_enabled("a", "+")
+        assert generic == charfun.enabled("a+") | charfun.enabled("a+/2")
+
+
+@pytest.mark.parametrize("factory", [
+    handshake,
+    mutex_element,
+    csc_violation_example,
+    irreducible_csc_example,
+    fake_conflict_d1,
+    lambda: muller_pipeline(3),
+    lambda: master_read(2),
+], ids=["handshake", "mutex", "csc_viol", "irreducible", "fake_d1",
+        "pipeline3", "master_read2"])
+class TestImageAgainstExplicitFiring:
+    def test_forward_image_matches_explicit_firing(self, factory):
+        stg = factory()
+        encoding = SymbolicEncoding(stg)
+        image = SymbolicImage(encoding)
+        graph = build_state_graph(stg).graph
+        for state in graph.states:
+            source = encoding.state_minterm(
+                state.marking,
+                {s: state.value_of(s) for s in stg.signals})
+            for transition, successor in graph.successors(state):
+                fired = image.fire(source, transition)
+                expected = encoding.state_minterm(
+                    successor.marking,
+                    {s: successor.value_of(s) for s in stg.signals})
+                assert fired == expected, (stg.name, transition)
+
+    def test_forward_image_empty_for_disabled_transitions(self, factory):
+        stg = factory()
+        encoding = SymbolicEncoding(stg)
+        image = SymbolicImage(encoding)
+        graph = build_state_graph(stg).graph
+        for state in graph.states[:10]:
+            source = encoding.state_minterm(
+                state.marking,
+                {s: state.value_of(s) for s in stg.signals})
+            enabled = set(graph.enabled_transitions(state))
+            for transition in stg.transitions:
+                if transition in enabled:
+                    continue
+                assert image.fire(source, transition).is_false()
+
+    def test_backward_image_inverts_forward(self, factory):
+        stg = factory()
+        encoding = SymbolicEncoding(stg)
+        image = SymbolicImage(encoding)
+        graph = build_state_graph(stg).graph
+        for state in graph.states:
+            source = encoding.state_minterm(
+                state.marking,
+                {s: state.value_of(s) for s in stg.signals})
+            for transition, successor in graph.successors(state):
+                target = encoding.state_minterm(
+                    successor.marking,
+                    {s: successor.value_of(s) for s in stg.signals})
+                assert image.fire_backward(target, transition) == source
+
+
+class TestImageSets:
+    def test_image_over_all_transitions(self):
+        stg = handshake()
+        encoding = SymbolicEncoding(stg)
+        image = SymbolicImage(encoding)
+        initial = encoding.initial_state()
+        successors = image.image(initial)
+        assert encoding.count_states(successors) == 1  # only r+ enabled
+
+    def test_preimage_of_initial_state(self):
+        stg = handshake()
+        encoding = SymbolicEncoding(stg)
+        image = SymbolicImage(encoding)
+        initial = encoding.initial_state()
+        predecessors = image.preimage(initial)
+        # Only a- leads back to the initial state.
+        assert encoding.count_states(predecessors) == 1
+
+    def test_input_transitions_listed(self):
+        stg = mutex_element()
+        encoding = SymbolicEncoding(stg)
+        image = SymbolicImage(encoding)
+        assert set(image.input_transitions()) == {
+            "r1+", "r1-", "r2+", "r2-"}
+
+    def test_image_of_empty_set_is_empty(self):
+        stg = handshake()
+        encoding = SymbolicEncoding(stg)
+        image = SymbolicImage(encoding)
+        assert image.image(encoding.manager.false).is_false()
+        assert image.preimage(encoding.manager.false).is_false()

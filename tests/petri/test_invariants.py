@@ -1,0 +1,158 @@
+"""Tests for place and transition invariants."""
+
+import pytest
+
+from repro.petri import PetriNet, build_reachability_graph
+from repro.petri.builders import chain, parallel_join
+from repro.petri.invariants import (
+    incidence_matrix,
+    is_covered_by_positive_place_invariants,
+    place_invariants,
+    positive_place_invariants,
+    structural_bound_from_invariants,
+    transition_invariants,
+)
+from repro.stg.generators import handshake, muller_pipeline, mutex_element
+
+
+class TestIncidenceMatrix:
+    def test_shape(self):
+        net = chain(["t0", "t1", "t2"], closed=True)
+        places, transitions, matrix = incidence_matrix(net)
+        assert len(matrix) == len(places) == 3
+        assert len(matrix[0]) == len(transitions) == 3
+
+    def test_column_sums_for_conservative_net(self):
+        # In a closed chain every transition consumes and produces exactly
+        # one token: each column sums to zero.
+        net = chain(["t0", "t1", "t2"], closed=True)
+        _, _, matrix = incidence_matrix(net)
+        for column in range(3):
+            assert sum(row[column] for row in matrix) == 0
+
+    def test_entries(self):
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        net.add_place("q")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "q")
+        places, transitions, matrix = incidence_matrix(net)
+        p_row = matrix[places.index("p")]
+        q_row = matrix[places.index("q")]
+        assert p_row[transitions.index("t")] == -1
+        assert q_row[transitions.index("t")] == 1
+
+
+class TestPlaceInvariants:
+    def test_closed_chain_has_token_conservation_invariant(self):
+        net = chain(["t0", "t1", "t2"], closed=True)
+        invariants = place_invariants(net)
+        assert len(invariants) == 1
+        invariant = invariants[0]
+        assert invariant.is_positive()
+        assert set(invariant.support) == set(net.places)
+        assert invariant.value(net.initial_marking) == 1
+
+    def test_invariant_value_constant_over_reachable_markings(self):
+        for net in (mutex_element().net, muller_pipeline(3).net,
+                    parallel_join([["a0"], ["b0", "b1"]])):
+            graph = build_reachability_graph(net)
+            for invariant in place_invariants(net):
+                reference = invariant.value(graph.initial)
+                for marking in graph.markings:
+                    assert invariant.value(marking) == reference
+
+    def test_mutex_exclusion_invariant_exists(self):
+        # Some positive semiflow containing p_me must have value 1:
+        # the mutual-exclusion token is conserved.
+        net = mutex_element().net
+        candidates = [i for i in positive_place_invariants(net)
+                      if i.is_positive() and "p_me" in i.support]
+        assert candidates
+        assert any(i.value(net.initial_marking) == 1 for i in candidates)
+
+    def test_positive_semiflows_are_invariant_and_positive(self):
+        net = mutex_element().net
+        graph = build_reachability_graph(net)
+        semiflows = positive_place_invariants(net)
+        assert semiflows
+        for invariant in semiflows:
+            assert invariant.is_positive()
+            reference = invariant.value(graph.initial)
+            for marking in graph.markings:
+                assert invariant.value(marking) == reference
+
+    def test_coverage_proves_boundedness_for_marked_graphs(self):
+        assert is_covered_by_positive_place_invariants(muller_pipeline(3).net)
+        assert is_covered_by_positive_place_invariants(mutex_element().net)
+
+    def test_unbounded_net_not_covered(self):
+        net = PetriNet()
+        net.add_place("src", tokens=1)
+        net.add_place("sink")
+        net.add_transition("emit")
+        net.add_arc("src", "emit")
+        net.add_arc("emit", "src")
+        net.add_arc("emit", "sink")
+        assert not is_covered_by_positive_place_invariants(net)
+
+    def test_structural_bound(self):
+        net = handshake().net
+        for place in net.places:
+            assert structural_bound_from_invariants(net, place) == 1
+
+    def test_structural_bound_none_without_invariant(self):
+        net = PetriNet()
+        net.add_place("lonely")
+        net.add_transition("t")
+        net.add_place("feed", tokens=1)
+        net.add_arc("feed", "t")
+        net.add_arc("t", "lonely")
+        net.add_arc("t", "feed")
+        assert structural_bound_from_invariants(net, "lonely") is None
+
+    def test_invariant_string_rendering(self):
+        net = chain(["t0", "t1"], closed=True)
+        text = str(place_invariants(net)[0])
+        assert "+" in text
+
+
+class TestTransitionInvariants:
+    def test_cycle_has_uniform_t_invariant(self):
+        net = chain(["t0", "t1", "t2"], closed=True)
+        invariants = transition_invariants(net)
+        assert len(invariants) == 1
+        assert invariants[0].weights == {"t0": 1, "t1": 1, "t2": 1}
+
+    def test_t_invariant_reproduces_marking(self):
+        stg = handshake()
+        net = stg.net
+        invariants = transition_invariants(net)
+        assert invariants
+        # Fire each transition as often as the invariant says (the firing
+        # order of the handshake cycle) and land on the initial marking.
+        marking = net.fire_sequence(["r+", "a+", "r-", "a-"])
+        assert marking == net.initial_marking
+
+    def test_consistent_stg_has_balanced_t_invariants(self):
+        # Every T-invariant of a consistent STG fires a+ and a- equally often.
+        stg = muller_pipeline(2)
+        invariants = transition_invariants(stg.net)
+        assert invariants
+        for invariant in invariants:
+            for signal in stg.signals:
+                rising = sum(invariant.weights.get(t, 0)
+                             for t in stg.transitions_of(signal, "+"))
+                falling = sum(invariant.weights.get(t, 0)
+                              for t in stg.transitions_of(signal, "-"))
+                assert rising == falling
+
+    def test_acyclic_net_has_no_t_invariant(self):
+        net = PetriNet()
+        net.add_place("p0", tokens=1)
+        net.add_place("p1")
+        net.add_transition("t")
+        net.add_arc("p0", "t")
+        net.add_arc("t", "p1")
+        assert transition_invariants(net) == []

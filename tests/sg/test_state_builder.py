@@ -1,0 +1,152 @@
+"""Tests for State, StateGraph and the full-state-graph builder."""
+
+import pytest
+
+from repro.petri import Marking
+from repro.sg import State, build_state_graph, infer_initial_values
+from repro.stg import STG, STGError, SignalKind
+from repro.stg.generators import (
+    handshake,
+    inconsistent_example,
+    mutex_element,
+    muller_pipeline,
+    parallel_handshakes,
+)
+
+
+class TestState:
+    def test_make_and_value_of(self):
+        state = State.make(Marking({"p": 1}), {"a": True, "b": False})
+        assert state.value_of("a")
+        assert not state.value_of("b")
+        assert not state.value_of("never_mentioned")
+
+    def test_code_vector_and_string(self):
+        state = State.make(Marking(), {"a": True, "b": False, "c": True})
+        assert state.code_vector(["a", "b", "c"]) == (1, 0, 1)
+        assert state.code_string(["c", "b", "a"]) == "101"
+
+    def test_with_signal(self):
+        state = State.make(Marking(), {"a": False})
+        high = state.with_signal("a", True)
+        assert high.value_of("a")
+        assert not state.value_of("a")
+
+    def test_equality_includes_marking(self):
+        s1 = State.make(Marking({"p": 1}), {"a": True})
+        s2 = State.make(Marking({"q": 1}), {"a": True})
+        assert s1 != s2
+        assert s1 == State.make(Marking({"p": 1}), {"a": True})
+
+
+class TestBuilder:
+    def test_handshake_has_four_states(self):
+        result = build_state_graph(handshake())
+        assert result.graph.num_states == 4
+        assert result.consistent
+        assert not result.truncated
+
+    def test_codes_of_handshake_cycle(self):
+        stg = handshake()
+        result = build_state_graph(stg)
+        codes = {state.code_string(["r", "a"]) for state in result.graph.states}
+        assert codes == {"00", "10", "11", "01"}
+
+    def test_missing_initial_values_rejected(self):
+        stg = STG("incomplete")
+        stg.add_signal("a", SignalKind.OUTPUT)
+        stg.connect("a+", "a-")
+        stg.connect("a-", "a+", tokens=1)
+        with pytest.raises(STGError):
+            build_state_graph(stg)
+
+    def test_initial_values_override(self):
+        stg = STG("override")
+        stg.add_signal("a", SignalKind.OUTPUT)
+        stg.connect("a-", "a+")
+        stg.connect("a+", "a-", tokens=1)
+        result = build_state_graph(stg, initial_values={"a": True})
+        assert result.graph.initial.value_of("a")
+
+    def test_inconsistent_example_records_violation(self):
+        result = build_state_graph(inconsistent_example())
+        assert not result.consistent
+        assert any(v.signal == "b" for v in result.consistency_violations)
+
+    def test_truncation_flag(self):
+        result = build_state_graph(muller_pipeline(4), max_states=5)
+        assert result.truncated
+
+    def test_mutex_full_state_graph_size(self):
+        # Each user is in one of 4 handshake phases and at most one user may
+        # hold the mutual-exclusion token: 4 + 4 + 4 = 12 reachable states.
+        result = build_state_graph(mutex_element())
+        assert result.graph.num_states == 12
+
+    def test_enabled_signals_helpers(self):
+        stg = mutex_element()
+        result = build_state_graph(stg)
+        initial = result.graph.initial
+        assert result.graph.enabled_signals(initial) == {"r1", "r2"}
+        assert result.graph.enabled_noninput_signals(initial) == frozenset()
+
+    def test_states_by_code_and_distinct_codes(self):
+        stg = handshake()
+        graph = build_state_graph(stg).graph
+        assert graph.distinct_codes() == 4
+        assert all(len(group) == 1 for group in graph.states_by_code().values())
+
+    def test_parallel_handshake_state_count(self):
+        graph = build_state_graph(parallel_handshakes(2)).graph
+        assert graph.num_states == 16
+        assert graph.deadlocks() == []
+
+
+class TestInferInitialValues:
+    def test_infer_handshake_without_declared_values(self):
+        stg = handshake()
+        stg._initial_values.clear()  # simulate a spec without declarations
+        values = infer_initial_values(stg)
+        assert values == {"r": False, "a": False}
+
+    def test_infer_respects_declared_values(self):
+        stg = handshake()
+        values = infer_initial_values(stg)
+        assert values == stg.initial_values
+
+    def test_infer_high_initial_value(self):
+        # A signal that must start at 1: its first transition is falling.
+        stg = STG("starts_high")
+        stg.add_signal("x", SignalKind.OUTPUT)
+        stg.connect("x-", "x+")
+        stg.connect("x+", "x-", tokens=1)
+        values = infer_initial_values(stg)
+        assert values["x"] is True
+
+    def test_infer_defaults_unused_signal_to_zero(self):
+        stg = handshake()
+        stg._initial_values.clear()
+        stg.add_signal("spare", SignalKind.INTERNAL)
+        values = infer_initial_values(stg)
+        assert values["spare"] is False
+
+    def test_inferred_values_give_consistent_graph(self):
+        stg = mutex_element()
+        stg._initial_values.clear()
+        values = infer_initial_values(stg)
+        result = build_state_graph(stg, initial_values=values)
+        assert result.consistent
+
+    def test_infer_deep_first_enabling(self):
+        # Signal "late" only changes after two other events; the parity
+        # computation must still find that it starts at 0.
+        stg = STG("late")
+        stg.add_signal("a", SignalKind.INPUT)
+        stg.add_signal("late", SignalKind.OUTPUT)
+        stg.connect("a+", "late+")
+        stg.connect("late+", "a-")
+        stg.connect("a-", "late-")
+        stg.connect("late-", "a+", tokens=1)
+        stg._initial_values.clear()
+        values = infer_initial_values(stg)
+        assert values == {"a": False, "late": False}

@@ -1,0 +1,242 @@
+"""Tests for the benchmark generators and structural validation."""
+
+import pytest
+
+from repro.petri import build_reachability_graph
+from repro.petri.analysis import check_boundedness
+from repro.petri.structure import is_marked_graph
+from repro.stg import STG, SignalKind
+from repro.stg.generators import (
+    FIXED_EXAMPLES,
+    SCALABLE_FAMILIES,
+    asymmetric_fake_conflict_example,
+    build_example,
+    csc_resolved_example,
+    csc_violation_example,
+    fake_conflict_d1,
+    fake_conflict_d2,
+    handshake,
+    inconsistent_example,
+    irreducible_csc_example,
+    master_read,
+    muller_pipeline,
+    mutex_arbitration_places,
+    mutex_element,
+    output_disabled_by_input,
+    parallel_handshakes,
+    pipeline_with_environment,
+)
+from repro.stg.validate import (
+    conflict_signal_pairs,
+    direct_conflict_pairs,
+    input_choice_only,
+    is_marked_graph_stg,
+    validate_structure,
+)
+
+
+class TestPaperFigures:
+    def test_mutex_matches_figure_1_sizes(self):
+        stg = mutex_element()
+        assert stg.net.num_places == 9
+        assert stg.net.num_transitions == 8
+        assert sorted(stg.inputs) == ["r1", "r2"]
+        assert sorted(stg.outputs) == ["g1", "g2"]
+
+    def test_mutex_grants_exclusive(self):
+        stg = mutex_element()
+        graph = build_reachability_graph(stg.net)
+        for marking in graph.markings:
+            enabled_after_grant = {t for t in ("g1+", "g2+")}
+            # Never both grants high: derive signal values by simulation is
+            # done in the sg tests; here check the mutex place invariant.
+            me_token = marking["p_me"]
+            granted = sum(
+                1 for index in (1, 2)
+                if marking[f"<g{index}+,r{index}->"] == 1
+                or marking[f"<r{index}-,g{index}->"] == 1)
+            assert me_token + granted == 1
+            assert enabled_after_grant  # structural sanity of the test itself
+
+    def test_mutex_scales(self):
+        stg = mutex_element(4)
+        assert len(stg.signals) == 8
+        assert len(mutex_arbitration_places(stg)) == 1
+
+    def test_mutex_rejects_zero_users(self):
+        with pytest.raises(ValueError):
+            mutex_element(0)
+
+    def test_fake_conflict_d1_d2_same_state_count(self):
+        d1_graph = build_reachability_graph(fake_conflict_d1().net)
+        d2_graph = build_reachability_graph(fake_conflict_d2().net)
+        # D1 has the same signal behaviour as D2 (Figure 3): both run
+        # a+ and b+ in either order and then c+, so the marking counts match.
+        assert d1_graph.num_markings == d2_graph.num_markings == 5
+
+    def test_fake_conflict_d1_has_direct_conflicts(self):
+        pairs = direct_conflict_pairs(fake_conflict_d1())
+        assert ("a+", "b+/2") in pairs
+
+    def test_fake_conflict_d2_has_no_conflicts(self):
+        assert direct_conflict_pairs(fake_conflict_d2()) == []
+
+
+class TestScalableFamilies:
+    @pytest.mark.parametrize("stages", [1, 2, 3, 4])
+    def test_muller_pipeline_is_safe_marked_graph(self, stages):
+        stg = muller_pipeline(stages)
+        assert is_marked_graph_stg(stg)
+        result = check_boundedness(stg.net)
+        assert result.bounded and result.safe
+
+    def test_muller_pipeline_state_growth(self):
+        counts = [build_reachability_graph(muller_pipeline(n).net).num_markings
+                  for n in (1, 2, 3, 4, 5)]
+        assert counts[0] == 4
+        # Strictly growing and super-linear (exponential family).
+        assert all(later > earlier for earlier, later in zip(counts, counts[1:]))
+        assert counts[4] / counts[1] > 4
+
+    def test_muller_pipeline_interface(self):
+        stg = muller_pipeline(3)
+        assert stg.inputs == ["c0"]
+        assert stg.outputs == ["c1", "c2", "c3"]
+        assert stg.has_complete_initial_values()
+
+    @pytest.mark.parametrize("channels", [1, 2, 3])
+    def test_master_read_is_safe_marked_graph(self, channels):
+        stg = master_read(channels)
+        assert is_marked_graph(stg.net)
+        result = check_boundedness(stg.net)
+        assert result.bounded and result.safe
+
+    def test_master_read_state_growth(self):
+        counts = [build_reachability_graph(master_read(n).net).num_markings
+                  for n in (1, 2, 3)]
+        assert all(later > 2 * earlier for earlier, later in zip(counts, counts[1:]))
+
+    def test_parallel_handshakes_state_count_exact(self):
+        for count in (1, 2, 3):
+            graph = build_reachability_graph(parallel_handshakes(count).net)
+            assert graph.num_markings == 4 ** count
+
+    def test_pipeline_with_environment_adds_ack(self):
+        stg = pipeline_with_environment(2)
+        assert "ack" in stg.inputs
+
+    @pytest.mark.parametrize("factory", [muller_pipeline, master_read,
+                                         parallel_handshakes])
+    def test_scale_must_be_positive(self, factory):
+        with pytest.raises(ValueError):
+            factory(0)
+
+
+class TestViolationExamples:
+    def test_inconsistent_example_repeats_rising_edge(self):
+        stg = inconsistent_example()
+        graph = build_reachability_graph(stg.net)
+        assert graph.num_markings == 5
+        # The sequence b+ a+ b+/2 is feasible.
+        marking = stg.net.fire_sequence(["b+", "a+", "b+/2"])
+        assert marking is not None
+
+    def test_output_disabled_by_input_structure(self):
+        stg = output_disabled_by_input()
+        pairs = direct_conflict_pairs(stg)
+        assert ("a+", "b+") in pairs
+        assert not input_choice_only(stg)
+
+    def test_csc_violation_example_is_deterministic_cycle(self):
+        graph = build_reachability_graph(csc_violation_example().net)
+        assert graph.num_markings == 8
+        assert graph.deadlocks() == []
+
+    def test_csc_resolved_example_has_internal_signal(self):
+        stg = csc_resolved_example()
+        assert stg.internals == ["x"]
+        assert build_reachability_graph(stg.net).num_markings == 10
+
+    def test_irreducible_example_is_input_choice(self):
+        stg = irreducible_csc_example()
+        assert input_choice_only(stg)
+        assert conflict_signal_pairs(stg) == [("a", "b"), ("b", "a")]
+
+    def test_asymmetric_fake_conflict_mixes_kinds(self):
+        stg = asymmetric_fake_conflict_example()
+        assert not input_choice_only(stg)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("name", sorted(FIXED_EXAMPLES))
+    def test_all_fixed_examples_pass_structural_validation(self, name):
+        report = validate_structure(FIXED_EXAMPLES[name]())
+        assert report.valid, str(report)
+
+    @pytest.mark.parametrize("name", sorted(SCALABLE_FAMILIES))
+    def test_all_families_pass_structural_validation(self, name):
+        report = validate_structure(SCALABLE_FAMILIES[name](3))
+        assert report.valid, str(report)
+
+    def test_empty_stg_is_invalid(self):
+        report = validate_structure(STG("empty"))
+        assert not report.valid
+
+    def test_unlabelled_transition_is_error(self):
+        stg = handshake()
+        stg.net.add_transition("rogue")
+        stg.net.add_place("p_rogue", tokens=1)
+        stg.net.add_arc("p_rogue", "rogue")
+        report = validate_structure(stg)
+        assert any("no signal label" in issue.message for issue in report.errors)
+
+    def test_source_transition_is_error(self):
+        stg = STG()
+        stg.add_signal("a", SignalKind.OUTPUT)
+        stg.add_transition("a+")
+        report = validate_structure(stg)
+        assert any("no input places" in issue.message for issue in report.errors)
+
+    def test_empty_marking_is_error(self):
+        stg = STG()
+        stg.add_signal("a", SignalKind.OUTPUT)
+        stg.connect("a+", "a-")
+        stg.connect("a-", "a+")
+        report = validate_structure(stg)
+        assert any("initial marking is empty" in issue.message
+                   for issue in report.errors)
+
+    def test_signal_without_transitions_is_warning(self):
+        stg = handshake()
+        stg.add_signal("unused", SignalKind.INTERNAL, initial_value=False)
+        report = validate_structure(stg)
+        assert report.valid
+        assert any("has no transitions" in issue.message
+                   for issue in report.warnings)
+
+    def test_one_sided_signal_is_warning(self):
+        stg = fake_conflict_d1()
+        report = validate_structure(stg)
+        assert report.valid
+        assert any("only" in issue.message for issue in report.warnings)
+
+    def test_report_string_rendering(self):
+        report = validate_structure(STG("empty"))
+        assert "[error]" in str(report)
+        assert str(validate_structure(handshake())) == "structure OK"
+
+
+class TestBuildExample:
+    def test_fixed_example(self):
+        assert build_example("handshake").name == "handshake"
+
+    def test_scalable_family(self):
+        assert build_example("muller_pipeline", 4).name == "muller_pipeline_4"
+
+    def test_family_without_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_example("muller_pipeline")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            build_example("no_such_example")

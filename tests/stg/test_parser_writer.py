@@ -1,0 +1,168 @@
+"""Tests for the .g format parser and writer (including round-trips)."""
+
+import pytest
+
+from repro.petri import build_reachability_graph
+from repro.stg import STG, STGError, SignalKind, parse_g, read_g_file, to_g_string, write_g
+from repro.stg.generators import (
+    csc_violation_example,
+    handshake,
+    master_read,
+    muller_pipeline,
+    mutex_element,
+)
+
+HANDSHAKE_G = """
+# A 4-phase handshake.
+.model handshake
+.inputs r
+.outputs a
+.graph
+r+ a+
+a+ r-
+r- a-
+a- r+
+.marking { <a-,r+> }
+.initial_values a=0 r=0
+.end
+"""
+
+EXPLICIT_PLACES_G = """
+.model choice
+.inputs a b
+.outputs o
+.graph
+p0 a+ b+
+a+ p1
+b+ p1
+p1 o+
+o+ p0
+.marking { p0 }
+.initial_values a=0 b=0 o=0
+.end
+"""
+
+
+class TestParser:
+    def test_parse_handshake(self):
+        stg = parse_g(HANDSHAKE_G)
+        assert stg.name == "handshake"
+        assert stg.inputs == ["r"]
+        assert stg.outputs == ["a"]
+        assert set(stg.transitions) == {"r+", "a+", "r-", "a-"}
+        assert stg.initial_marking()["<a-,r+>"] == 1
+        assert stg.initial_values == {"a": False, "r": False}
+
+    def test_parsed_handshake_behaves_like_generator(self):
+        parsed = parse_g(HANDSHAKE_G)
+        generated = handshake()
+        parsed_graph = build_reachability_graph(parsed.net)
+        generated_graph = build_reachability_graph(generated.net)
+        assert parsed_graph.num_markings == generated_graph.num_markings == 4
+
+    def test_parse_explicit_places_and_choice(self):
+        stg = parse_g(EXPLICIT_PLACES_G)
+        assert stg.net.has_place("p0")
+        assert stg.net.postset_of_place("p0") == {"a+", "b+"}
+        assert stg.net.preset_of_place("p1") == {"a+", "b+"}
+        assert stg.initial_marking()["p0"] == 1
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# top comment\n\n.model m\n.outputs x\n.graph\nx+ x-\nx- x+\n" \
+               ".marking { <x-,x+> }\n.end\n"
+        stg = parse_g(text)
+        assert set(stg.transitions) == {"x+", "x-"}
+
+    def test_internal_signals(self):
+        text = (".model m\n.inputs i\n.outputs o\n.internal x\n.graph\n"
+                "i+ x+\nx+ o+\no+ i-\ni- x-\nx- o-\no- i+\n"
+                ".marking { <o-,i+> }\n.end\n")
+        stg = parse_g(text)
+        assert stg.internals == ["x"]
+        assert stg.kind_of("x") is SignalKind.INTERNAL
+
+    def test_marking_with_weights(self):
+        text = (".model m\n.outputs x\n.graph\np0 x+\nx+ p0\n"
+                ".marking { p0=2 }\n.end\n")
+        stg = parse_g(text)
+        assert stg.initial_marking()["p0"] == 2
+
+    def test_dummy_rejected(self):
+        with pytest.raises(STGError):
+            parse_g(".model m\n.dummy d\n.graph\n.end\n")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(STGError):
+            parse_g(".model m\n.bogus x\n.end\n")
+
+    def test_graph_line_outside_graph_rejected(self):
+        with pytest.raises(STGError):
+            parse_g(".model m\n.outputs a\na+ a-\n.graph\n.end\n")
+
+    def test_marked_unknown_place_rejected(self):
+        with pytest.raises(STGError):
+            parse_g(".model m\n.outputs a\n.graph\na+ a-\n"
+                    ".marking { ghost }\n.end\n")
+
+    def test_undeclared_signal_in_graph_rejected(self):
+        with pytest.raises(STGError):
+            parse_g(".model m\n.outputs a\n.graph\na+ b+\n.end\n")
+
+    def test_arc_between_places_rejected(self):
+        with pytest.raises(STGError):
+            parse_g(".model m\n.outputs a\n.graph\np0 p1\np1 a+\n.end\n")
+
+    def test_transition_with_index(self):
+        text = (".model m\n.inputs a\n.outputs b\n.graph\n"
+                "a+ b+\nb+ a-\na- b+/2\nb+/2 b-\nb- a+\n"
+                ".marking { <b-,a+> }\n.end\n")
+        stg = parse_g(text)
+        assert "b+/2" in stg.transitions
+
+
+class TestWriter:
+    def test_output_contains_sections(self):
+        text = to_g_string(handshake())
+        assert ".model handshake" in text
+        assert ".inputs r" in text
+        assert ".outputs a" in text
+        assert ".graph" in text
+        assert ".marking" in text
+        assert ".initial_values a=0 r=0" in text
+        assert text.rstrip().endswith(".end")
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "handshake.g"
+        write_g(handshake(), str(path))
+        stg = read_g_file(str(path))
+        assert set(stg.transitions) == set(handshake().transitions)
+
+
+@pytest.mark.parametrize("factory", [
+    handshake,
+    mutex_element,
+    csc_violation_example,
+    lambda: muller_pipeline(3),
+    lambda: master_read(2),
+], ids=["handshake", "mutex", "csc_violation", "pipeline3", "master_read2"])
+class TestRoundTrip:
+    def test_roundtrip_preserves_interface(self, factory):
+        original = factory()
+        recovered = parse_g(to_g_string(original))
+        assert recovered.inputs == original.inputs
+        assert recovered.outputs == original.outputs
+        assert recovered.internals == original.internals
+        assert recovered.initial_values == original.initial_values
+
+    def test_roundtrip_preserves_transitions(self, factory):
+        original = factory()
+        recovered = parse_g(to_g_string(original))
+        assert set(recovered.transitions) == set(original.transitions)
+
+    def test_roundtrip_preserves_state_space(self, factory):
+        original = factory()
+        recovered = parse_g(to_g_string(original))
+        original_graph = build_reachability_graph(original.net)
+        recovered_graph = build_reachability_graph(recovered.net)
+        assert original_graph.num_markings == recovered_graph.num_markings
+        assert original_graph.num_edges == recovered_graph.num_edges

@@ -1,0 +1,181 @@
+"""Tests for STG transformations (signal insertion, hiding, renaming...)."""
+
+import pytest
+
+from repro.sg import ExplicitChecker, build_state_graph
+from repro.sg.traces import bounded_trace_equivalent
+from repro.stg import STGError, SignalKind
+from repro.stg.generators import (
+    csc_violation_example,
+    handshake,
+    mutex_element,
+    vme_read_cycle,
+    vme_read_cycle_resolved,
+)
+from repro.stg.transform import (
+    expose_signals,
+    hide_signals,
+    insert_signal,
+    mirror_signal,
+    relabel_signal,
+)
+
+
+class TestInsertSignal:
+    def test_inserted_signal_becomes_internal(self):
+        stg = insert_signal(handshake(), "x", rise_after="r+", fall_after="r-")
+        assert stg.internals == ["x"]
+        assert "x+" in stg.transitions and "x-" in stg.transitions
+
+    def test_original_is_not_modified(self):
+        original = handshake()
+        insert_signal(original, "x", rise_after="r+", fall_after="r-")
+        assert not original.has_signal("x")
+
+    def test_insertion_preserves_observable_behaviour(self):
+        original = handshake()
+        extended = insert_signal(original, "x", rise_after="r+",
+                                 fall_after="r-")
+        g1 = build_state_graph(original).graph
+        g2 = build_state_graph(extended).graph
+        assert bounded_trace_equivalent(g1, original, g2, extended,
+                                        ["r", "a"], depth=8)
+
+    def test_insertion_sequences_new_signal(self):
+        extended = insert_signal(handshake(), "x", rise_after="r+",
+                                 fall_after="a+")
+        report = ExplicitChecker(extended).check()
+        assert report.consistent
+        assert report.output_persistent
+
+    def test_vme_csc_resolution(self):
+        # The resolution shipped as a generator: CSC violated before the
+        # insertion, satisfied afterwards, interface unchanged.
+        before = ExplicitChecker(vme_read_cycle()).check()
+        after = ExplicitChecker(vme_read_cycle_resolved()).check()
+        assert before.csc is False and before.csc_reducible is True
+        assert after.csc is True
+        assert set(vme_read_cycle_resolved().inputs) == set(vme_read_cycle().inputs)
+        assert set(vme_read_cycle_resolved().outputs) == set(vme_read_cycle().outputs)
+
+    def test_csc_violation_example_resolution_by_insertion(self):
+        stg = csc_violation_example()
+        resolved = insert_signal(stg, "x", rise_after="b+", fall_after="c+")
+        report = ExplicitChecker(resolved).check()
+        assert report.csc is True
+
+    def test_duplicate_signal_rejected(self):
+        with pytest.raises(STGError):
+            insert_signal(handshake(), "a", rise_after="r+", fall_after="r-")
+
+    def test_same_anchor_rejected(self):
+        with pytest.raises(STGError):
+            insert_signal(handshake(), "x", rise_after="r+", fall_after="r+")
+
+    def test_unknown_anchor_rejected(self):
+        with pytest.raises(STGError):
+            insert_signal(handshake(), "x", rise_after="r+", fall_after="zz-")
+
+    def test_insert_as_output(self):
+        stg = insert_signal(handshake(), "probe", rise_after="r+",
+                            fall_after="r-", kind=SignalKind.OUTPUT)
+        assert "probe" in stg.outputs
+
+
+class TestInsertSignalProperties:
+    """Property-based check: insertion never changes observable behaviour."""
+
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=20, deadline=None)
+    @given(anchors=st.tuples(st.sampled_from(["r+", "a+", "r-", "a-"]),
+                             st.sampled_from(["r+", "a+", "r-", "a-"])),
+           kind=st.sampled_from([SignalKind.INTERNAL, SignalKind.OUTPUT]))
+    def test_random_insertions_preserve_projection(self, anchors, kind):
+        from hypothesis import assume
+
+        rise_after, fall_after = anchors
+        assume(rise_after != fall_after)
+        original = handshake()
+        extended = insert_signal(original, "x", rise_after=rise_after,
+                                 fall_after=fall_after, kind=kind)
+        g1 = build_state_graph(original).graph
+        g2 = build_state_graph(extended).graph
+        assert bounded_trace_equivalent(g1, original, g2, extended,
+                                        ["r", "a"], depth=8)
+        # One of the two initial values of the inserted signal must give a
+        # consistent extension (x+ and x- each fire exactly once per cycle,
+        # so they alternate; which phase comes first decides the value).
+        if not ExplicitChecker(extended).check().consistent:
+            flipped = insert_signal(original, "x", rise_after=rise_after,
+                                    fall_after=fall_after, kind=kind,
+                                    initial_value=True)
+            assert ExplicitChecker(flipped).check().consistent
+
+
+class TestHideExpose:
+    def test_hide_outputs(self):
+        stg = hide_signals(mutex_element(), ["g1"])
+        assert "g1" in stg.internals
+        assert "g2" in stg.outputs
+
+    def test_hide_input_rejected(self):
+        with pytest.raises(STGError):
+            hide_signals(mutex_element(), ["r1"])
+
+    def test_hide_unknown_rejected(self):
+        with pytest.raises(STGError):
+            hide_signals(mutex_element(), ["ghost"])
+
+    def test_hiding_preserves_state_space(self):
+        original = mutex_element()
+        hidden = hide_signals(original, ["g1", "g2"])
+        assert build_state_graph(hidden).graph.num_states == \
+            build_state_graph(original).graph.num_states
+
+    def test_expose_round_trip(self):
+        original = mutex_element()
+        hidden = hide_signals(original, ["g1"])
+        restored = expose_signals(hidden, ["g1"])
+        assert set(restored.outputs) == set(original.outputs)
+
+    def test_expose_input_rejected(self):
+        with pytest.raises(STGError):
+            expose_signals(mutex_element(), ["r1"])
+
+
+class TestRelabelAndMirror:
+    def test_relabel_signal(self):
+        stg = relabel_signal(handshake(), "a", "ack")
+        assert "ack" in stg.outputs and not stg.has_signal("a")
+        assert "ack+" in stg.transitions
+        assert stg.initial_value("ack") is False
+
+    def test_relabel_to_existing_name_rejected(self):
+        with pytest.raises(STGError):
+            relabel_signal(handshake(), "a", "r")
+
+    def test_relabel_preserves_behaviour(self):
+        original = handshake()
+        renamed = relabel_signal(original, "a", "ack")
+        assert build_state_graph(renamed).graph.num_states == 4
+        report = ExplicitChecker(renamed).check()
+        assert report.gate_implementable
+
+    def test_mirror_signal_flips_polarity_and_initial_value(self):
+        original = handshake()
+        mirrored = mirror_signal(original, "a")
+        assert mirrored.initial_value("a") is True
+        report = ExplicitChecker(mirrored).check()
+        assert report.consistent
+        assert report.gate_implementable
+
+    def test_mirror_preserves_state_count(self):
+        original = mutex_element()
+        mirrored = mirror_signal(original, "g1")
+        assert build_state_graph(mirrored).graph.num_states == \
+            build_state_graph(original).graph.num_states
+
+    def test_mirror_unknown_signal_rejected(self):
+        with pytest.raises(STGError):
+            mirror_signal(handshake(), "ghost")

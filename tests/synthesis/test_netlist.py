@@ -1,0 +1,92 @@
+"""Tests for netlist / Verilog emission of the derived logic."""
+
+import pytest
+
+from repro.core.encoding import SymbolicEncoding
+from repro.core.image import SymbolicImage
+from repro.core.traversal import symbolic_traversal
+from repro.stg.generators import handshake, muller_pipeline, mutex_element
+from repro.synthesis import (
+    synthesize_complex_gates,
+    synthesize_generalized_c_elements,
+)
+from repro.synthesis.netlist import (
+    complex_gate_netlist,
+    gc_netlist,
+    to_verilog,
+    to_verilog_gc,
+)
+
+
+def build(stg):
+    encoding = SymbolicEncoding(stg)
+    image = SymbolicImage(encoding)
+    reached, _ = symbolic_traversal(encoding, image=image)
+    gates = synthesize_complex_gates(encoding, reached, image.charfun)
+    elements = synthesize_generalized_c_elements(encoding, reached, image.charfun)
+    return gates, elements
+
+
+class TestTextNetlists:
+    def test_complex_gate_netlist_lists_all_outputs(self):
+        stg = mutex_element()
+        gates, _ = build(stg)
+        text = complex_gate_netlist(stg, gates)
+        for signal in stg.outputs:
+            assert f"{signal} = " in text
+        assert text.startswith("# complex-gate netlist")
+        assert "# inputs : r1 r2" in text
+        assert "# outputs: g1 g2" in text
+
+    def test_handshake_equation(self):
+        stg = handshake()
+        gates, _ = build(stg)
+        assert "a = r" in complex_gate_netlist(stg, gates)
+
+    def test_gc_netlist_has_set_and_reset(self):
+        stg = mutex_element()
+        _, elements = build(stg)
+        text = gc_netlist(stg, elements)
+        for signal in stg.outputs:
+            assert f"{signal}.set" in text
+            assert f"{signal}.reset" in text
+
+
+class TestVerilog:
+    def test_module_structure(self):
+        stg = handshake()
+        gates, _ = build(stg)
+        text = to_verilog(stg, gates)
+        assert text.startswith("// Derived from STG")
+        assert "module " in text and text.rstrip().endswith("endmodule")
+        assert "input  r;" in text
+        assert "output a;" in text
+        assert "assign a = (r);" in text
+
+    def test_pipeline_gates_reference_neighbours(self):
+        stg = muller_pipeline(2)
+        gates, _ = build(stg)
+        text = to_verilog(stg, gates)
+        assert "assign c1 = " in text
+        assert "c0" in text and "c2" in text
+
+    def test_gc_verilog_structure(self):
+        stg = mutex_element()
+        _, elements = build(stg)
+        text = to_verilog_gc(stg, elements)
+        assert "output reg g1;" in text
+        assert "always @*" in text
+        assert "g1 = 1'b1;" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_identifier_sanitisation(self):
+        stg = handshake()
+        stg.name = "weird-name.with:chars"
+        gates, _ = build(stg)
+        text = to_verilog(stg, gates)
+        assert "module weird_name_with_chars (" in text
+
+    def test_custom_module_name(self):
+        stg = handshake()
+        gates, _ = build(stg)
+        assert "module my_ctrl (" in to_verilog(stg, gates, module_name="my_ctrl")

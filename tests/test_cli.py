@@ -1,0 +1,90 @@
+"""Tests for the stg-check command-line interface."""
+
+import pytest
+
+from repro.cli import build_argument_parser, load_specification, main
+from repro.stg import write_g
+from repro.stg.generators import handshake
+
+
+class TestArgumentParser:
+    def test_defaults(self):
+        arguments = build_argument_parser().parse_args(["handshake"])
+        assert arguments.specification == "handshake"
+        assert not arguments.explicit
+        assert arguments.ordering == "force"
+        assert arguments.scale is None
+
+    def test_scale_and_flags(self):
+        arguments = build_argument_parser().parse_args(
+            ["muller_pipeline", "--scale", "4", "--explicit",
+             "--ordering", "declaration", "--arbitration", "p_me"])
+        assert arguments.scale == 4
+        assert arguments.explicit
+        assert arguments.ordering == "declaration"
+        assert arguments.arbitration == ["p_me"]
+
+
+class TestLoadSpecification:
+    def test_load_builtin_example(self):
+        assert load_specification("handshake", None).name == "handshake"
+
+    def test_load_scalable_family(self):
+        stg = load_specification("muller_pipeline", 3)
+        assert stg.name == "muller_pipeline_3"
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "spec.g"
+        write_g(handshake(), str(path))
+        assert set(load_specification(str(path), None).signals) == {"r", "a"}
+
+
+class TestMain:
+    def test_implementable_example_exit_code_zero(self, capsys):
+        assert main(["handshake"]) == 0
+        output = capsys.readouterr().out
+        assert "gate-implementable" in output
+
+    def test_explicit_engine(self, capsys):
+        assert main(["handshake", "--explicit"]) == 0
+        assert "explicit check" in capsys.readouterr().out
+
+    def test_scalable_family_via_cli(self, capsys):
+        assert main(["muller_pipeline", "--scale", "3"]) == 0
+        assert "muller_pipeline_3" in capsys.readouterr().out
+
+    def test_failing_example_exit_code_one(self, capsys):
+        assert main(["inconsistent"]) == 1
+        assert "not SI-implementable" in capsys.readouterr().out
+
+    def test_arbitration_option(self, capsys):
+        assert main(["mutex_element", "--arbitration", "p_me"]) == 0
+
+    def test_mutex_without_arbitration_fails(self):
+        assert main(["mutex_element"]) == 1
+
+    def test_validate_only(self, capsys):
+        assert main(["handshake", "--validate-only"]) == 0
+
+    def test_file_input_with_inferred_values(self, tmp_path, capsys):
+        stg = handshake()
+        stg._initial_values.clear()
+        path = tmp_path / "noval.g"
+        write_g(stg, str(path))
+        assert main([str(path), "--infer-initial-values"]) == 0
+
+    def test_liveness_option(self, capsys):
+        assert main(["handshake", "--liveness"]) == 0
+        output = capsys.readouterr().out
+        assert "deadlock-free" in output
+        assert "reversible" in output
+
+    def test_synthesize_option(self, capsys):
+        assert main(["handshake", "--synthesize"]) == 0
+        assert "a = r" in capsys.readouterr().out
+
+    def test_synthesize_skipped_without_csc(self, capsys):
+        # csc_violation is I/O-implementable (exit code 0) but not
+        # gate-implementable, so no equations can be derived.
+        assert main(["csc_violation", "--synthesize"]) == 0
+        assert "synthesis skipped" in capsys.readouterr().out
