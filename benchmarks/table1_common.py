@@ -7,8 +7,9 @@ number of places / signals / states, the peak and final BDD sizes of the
 commutativity / fake-conflict analysis), CSC) and their total.
 
 The original benchmark files are not available, so the rows are drawn from
-the same structural families rebuilt by :mod:`repro.stg.generators`
-(see DESIGN.md §2 for the substitution argument):
+the scalable families registered in the benchmark corpus
+(:data:`repro.corpus.FAMILIES`, backed by :mod:`repro.stg.generators`;
+see DESIGN.md §2 for the substitution argument):
 
 * ``muller_pipeline``  -- marked-graph pipeline (the paper's Muller pipeline),
 * ``master_read``      -- fork/join marked graph (master-read interface family),
@@ -18,20 +19,18 @@ the same structural families rebuilt by :mod:`repro.stg.generators`
 
 Each row is produced by :func:`run_table1_row`, which executes exactly the
 phases of :class:`repro.core.checker.ImplementabilityChecker` and returns
-the Table 1 columns.
+the Table 1 columns.  The instances and their expected verdicts come from
+the corpus registry, the single source of truth the ``batch-check`` CLI
+mode and the cross-engine tests validate against.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import corpus
 from repro.core.checker import ImplementabilityChecker
 from repro.report import ImplementabilityReport
-from repro.stg.generators import (
-    SCALABLE_FAMILIES,
-    mutex_arbitration_places,
-    mutex_element,
-)
 from repro.stg.stg import STG
 
 # (family name, scale parameters) -- the sweep reproduced in Table 1.
@@ -53,11 +52,11 @@ BENCHMARK_ROWS: List[Tuple[str, Sequence[int]]] = [
 
 def build_instance(family: str, scale: int) -> Tuple[STG, List[str]]:
     """Instantiate one benchmark row and its arbitration places."""
-    if family not in SCALABLE_FAMILIES:
-        raise ValueError(f"unknown benchmark family {family!r}")
-    stg = SCALABLE_FAMILIES[family](scale)
-    arbitration = mutex_arbitration_places(stg) if family == "mutex" else []
-    return stg, arbitration
+    try:
+        return corpus.family(family).instantiate(scale)
+    except KeyError as error:
+        # args[0], not str(error): KeyError.__str__ reprs its argument.
+        raise ValueError(error.args[0]) from None
 
 
 def run_table1_row(family: str, scale: int,
@@ -109,5 +108,11 @@ def format_table(rows: List[Dict[str, object]]) -> str:
 
 
 def expected_verdicts(family: str) -> Dict[str, Optional[bool]]:
-    """The implementability verdicts every row of a family must produce."""
-    return {"consistent": True, "persistent": True, "csc_holds": True}
+    """The implementability verdicts every row of a family must produce.
+
+    Drawn from the corpus registry (key ``csc`` is renamed to
+    ``csc_holds`` to match the Table 1 row layout).
+    """
+    expected = dict(corpus.family(family).expected)
+    expected["csc_holds"] = expected.pop("csc")
+    return expected

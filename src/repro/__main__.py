@@ -1,0 +1,14 @@
+"""``python -m repro`` -- alias of the ``stg-check`` console script.
+
+Supports the same arguments, including the corpus sweep::
+
+    python -m repro handshake
+    python -m repro batch-check
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Command-line interface: ``stg-check``.
+"""Command-line interface: ``stg-check`` (also ``python -m repro``).
 
 Check the implementability of an STG given as a ``.g`` file or as one of
 the built-in examples, using either the symbolic (default) or the explicit
@@ -8,6 +8,15 @@ engine::
     stg-check muller_pipeline --scale 8
     stg-check path/to/spec.g --explicit
     stg-check mutex_element --arbitration p_me
+
+The ``batch-check`` mode sweeps the whole benchmark corpus
+(:mod:`repro.corpus`) in one invocation and validates every per-property
+verdict against the registry's expected metadata::
+
+    stg-check batch-check                 # every corpus entry
+    stg-check batch-check vme_read mutex_element
+    stg-check batch-check --engine explicit
+    stg-check batch-check --list
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from typing import List, Optional
 
 from repro.core.checker import ImplementabilityChecker
 from repro.core.encoding import ORDERING_STRATEGIES
+from repro.core.pipeline import VerificationPipeline
 from repro.sg.builder import infer_initial_values
 from repro.sg.checker import ExplicitChecker
 from repro.stg.generators import FIXED_EXAMPLES, SCALABLE_FAMILIES, build_example
@@ -33,9 +43,10 @@ def build_argument_parser() -> argparse.ArgumentParser:
                     "(symbolic BDD traversal, Kondratyev et al. 1995).")
     parser.add_argument(
         "specification",
-        help="path to a .g file or the name of a built-in example "
+        help="path to a .g file, the name of a built-in example "
              f"({', '.join(sorted(FIXED_EXAMPLES))}; scalable families: "
-             f"{', '.join(sorted(SCALABLE_FAMILIES))})")
+             f"{', '.join(sorted(SCALABLE_FAMILIES))}), or the "
+             "'batch-check' mode sweeping the benchmark corpus")
     parser.add_argument("--scale", type=int, default=None,
                         help="scale parameter for scalable families")
     parser.add_argument("--explicit", action="store_true",
@@ -61,15 +72,48 @@ def build_argument_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_batch_check_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="stg-check batch-check",
+        description="Sweep the benchmark corpus (repro.corpus) and validate "
+                    "every per-property verdict against the registry's "
+                    "expected metadata.")
+    parser.add_argument("names", nargs="*", metavar="NAME",
+                        help="corpus entries to check (default: all)")
+    parser.add_argument("--list", action="store_true", dest="list_entries",
+                        help="list the corpus entries and exit")
+    parser.add_argument("--engine", choices=["symbolic", "explicit"],
+                        default="symbolic",
+                        help="verification engine (default: symbolic)")
+    parser.add_argument("--ordering", choices=list(ORDERING_STRATEGIES),
+                        default="force",
+                        help="BDD variable ordering strategy (symbolic only)")
+    parser.add_argument("--write-dir", metavar="DIR", default=None,
+                        help="additionally materialise the .g files of the "
+                             "checked entries under DIR")
+    return parser
+
+
 def load_specification(name: str, scale: Optional[int]):
-    """Load a ``.g`` file or instantiate a built-in example."""
-    if os.path.exists(name):
+    """Load a ``.g`` file or instantiate a built-in example.
+
+    Anything that looks like a path (a ``.g`` suffix or a directory
+    separator) is treated as a file even when missing, so the user gets
+    the parser's corpus-aware not-found message instead of
+    "unknown example".
+    """
+    looks_like_path = (name.endswith(".g") or os.sep in name
+                       or bool(os.altsep and os.altsep in name))
+    if os.path.exists(name) or looks_like_path:
         return read_g_file(name)
     return build_example(name, scale)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``stg-check`` console script."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "batch-check":
+        return batch_check_main(argv[1:])
     parser = build_argument_parser()
     arguments = parser.parse_args(argv)
     try:
@@ -99,41 +143,110 @@ def main(argv: Optional[List[str]] = None) -> int:
             ordering=arguments.ordering)
     report = checker.check()
     print(report.summary())
+    pipeline = getattr(checker, "pipeline", None)
 
     if arguments.liveness or arguments.synthesize:
-        _run_extras(stg, arguments, report)
+        _run_extras(stg, arguments, report, pipeline)
     return 0 if report.io_implementable else 1
 
 
-def _run_extras(stg, arguments, report) -> None:
-    """Optional liveness analysis and logic derivation (symbolic engine)."""
-    from repro.core.deadlock import check_deadlock_freedom, check_reversibility
-    from repro.core.encoding import SymbolicEncoding
-    from repro.core.image import SymbolicImage
-    from repro.core.traversal import symbolic_traversal
+def _run_extras(stg, arguments, report,
+                pipeline: Optional[VerificationPipeline] = None) -> None:
+    """Optional liveness analysis and logic derivation (symbolic engine).
+
+    When the main check already ran symbolically its pipeline is reused,
+    so the reachable-state BDD is not recomputed; after an explicit-engine
+    run a fresh pipeline (one traversal) is built.
+    """
     from repro.synthesis import synthesize_complex_gates
     from repro.synthesis.functions import SynthesisError
 
-    encoding = SymbolicEncoding(stg, ordering=arguments.ordering)
-    image = SymbolicImage(encoding)
-    reached, _ = symbolic_traversal(encoding, image=image)
+    if pipeline is None:
+        pipeline = VerificationPipeline(
+            stg, arbitration_places=arguments.arbitration,
+            ordering=arguments.ordering)
     if arguments.liveness:
-        print(f"  liveness: "
-              f"{check_deadlock_freedom(encoding, reached, image.charfun)}; "
-              f"{check_reversibility(encoding, reached, image)}")
+        print(f"  liveness: {pipeline.deadlock_freedom()}; "
+              f"{pipeline.reversibility()}")
     if arguments.synthesize:
         if not report.gate_implementable:
             print("  synthesis skipped: the specification is not "
                   "gate-implementable")
             return
         try:
-            gates = synthesize_complex_gates(encoding, reached, image.charfun)
+            gates = synthesize_complex_gates(
+                pipeline.encoding, pipeline.reached, pipeline.charfun)
         except SynthesisError as error:
             print(f"  synthesis failed: {error}")
             return
         print("  derived complex-gate equations:")
         for gate in gates.values():
             print(f"    {gate}")
+
+
+# ----------------------------------------------------------------------
+# batch-check: sweep the benchmark corpus
+# ----------------------------------------------------------------------
+def batch_check_main(argv: List[str]) -> int:
+    """Run every (selected) corpus entry and validate its metadata."""
+    from repro import corpus
+
+    parser = build_batch_check_parser()
+    arguments = parser.parse_args(argv)
+
+    if arguments.list_entries:
+        width = max(len(name) for name in corpus.names())
+        for name in corpus.names():
+            item = corpus.entry(name)
+            print(f"{name:<{width}}  [{item.source}] {item.description}")
+        return 0
+
+    try:
+        selection = [corpus.entry(name).name
+                     for name in (arguments.names or corpus.names())]
+    except corpus.CorpusError as error:
+        parser.error(str(error))
+        return 2
+
+    if arguments.write_dir:
+        corpus.write_all(arguments.write_dir, selection)
+
+    mismatching_entries = 0
+    width = max(len(name) for name in selection)
+    for name in selection:
+        item = corpus.entry(name)
+        stg = corpus.load(name)
+        if arguments.engine == "explicit":
+            report = ExplicitChecker(
+                stg, arbitration_places=item.arbitration_places).check()
+        else:
+            pipeline = VerificationPipeline(
+                stg, arbitration_places=item.arbitration_places,
+                ordering=arguments.ordering)
+            report = pipeline.run(include_liveness=True)
+        mismatches = item.mismatches(report)
+        verdicts = (f"states={report.num_states:<6d} "
+                    f"consistent={_flag(report.consistent)} "
+                    f"persistent={_flag(report.output_persistent)} "
+                    f"csc={_flag(report.csc)} "
+                    f"deadlock_free={_flag(report.deadlock_free)}")
+        status = "ok" if not mismatches else "MISMATCH"
+        print(f"{name:<{width}}  {verdicts} "
+              f"{str(report.classification):<38} [{status}]")
+        for problem in mismatches:
+            print(f"{'':<{width}}    {problem}")
+        if mismatches:
+            mismatching_entries += 1
+    total = len(selection)
+    print(f"batch-check: {total} entries, "
+          f"{total - mismatching_entries} matching the registry metadata, "
+          f"{mismatching_entries} mismatching "
+          f"[engine: {arguments.engine}]")
+    return 0 if mismatching_entries == 0 else 1
+
+
+def _flag(value: Optional[bool]) -> str:
+    return "-" if value is None else ("yes" if value else "no ")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,10 @@ The modules of this package implement Sections 4 and 5 of the paper:
   (Section 5.3),
 * :mod:`repro.core.fake_conflicts` -- symbolic fake-conflict analysis
   (Section 5.4),
+* :mod:`repro.core.pipeline` -- the
+  :class:`~repro.core.pipeline.VerificationPipeline`: the shared
+  encoding / image / reachable-BDD chain, computed once and reused by
+  every property check (and by synthesis),
 * :mod:`repro.core.checker` -- the
   :class:`~repro.core.checker.ImplementabilityChecker` facade producing an
   :class:`~repro.report.ImplementabilityReport`.
@@ -29,12 +33,14 @@ The modules of this package implement Sections 4 and 5 of the paper:
 
 from repro.core.encoding import SymbolicEncoding
 from repro.core.traversal import symbolic_traversal
+from repro.core.pipeline import VerificationPipeline
 from repro.core.checker import ImplementabilityChecker
 from repro.report import ImplementabilityClass, ImplementabilityReport
 
 __all__ = [
     "SymbolicEncoding",
     "symbolic_traversal",
+    "VerificationPipeline",
     "ImplementabilityChecker",
     "ImplementabilityClass",
     "ImplementabilityReport",

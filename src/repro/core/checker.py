@@ -10,32 +10,21 @@ Runs the full pipeline of the paper on one STG:
    determinism, and CSC-reducibility via the frozen-input traversal of
    Section 5.3.
 
-The phases and the BDD statistics mirror the columns of Table 1, so the
-benchmark harness simply prints the report fields.
+The heavy lifting lives in
+:class:`~repro.core.pipeline.VerificationPipeline`, which owns the shared
+encoding / image / reachable-BDD chain; this class is the stable facade
+that configures a pipeline and returns the report.  Consumers that need
+the intermediates afterwards (synthesis, liveness extras, witnesses) can
+keep using :attr:`pipeline` without re-running the traversal.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
-from repro.core.consistency import check_consistency
-from repro.core.csc import check_csc
-from repro.core.encoding import SymbolicEncoding
-from repro.core.fake_conflicts import classify_conflicts
-from repro.core.image import SymbolicImage
-from repro.core.persistency import (
-    check_signal_persistency,
-    check_transition_persistency,
-)
-from repro.core.reducibility import (
-    check_complementary_input_sequences,
-    check_determinism,
-)
-from repro.core.safeness import check_safeness
-from repro.core.traversal import symbolic_traversal
+from repro.core.pipeline import VerificationPipeline
 from repro.report import ImplementabilityReport
 from repro.stg.stg import STG
-from repro.utils.timing import PhaseTimer
 
 
 class ImplementabilityChecker:
@@ -81,130 +70,23 @@ class ImplementabilityChecker:
         self.initial_values = initial_values
         self.commutativity_fallback_states = commutativity_fallback_states
         self.include_liveness = include_liveness
+        #: The shared chain of the most recent :meth:`check` call;
+        #: reusable afterwards (synthesis, liveness) without re-traversal.
+        self.pipeline: Optional[VerificationPipeline] = None
 
-    # ------------------------------------------------------------------
     def check(self) -> ImplementabilityReport:
-        """Run the three phases and fill an :class:`ImplementabilityReport`."""
-        stg = self.stg
-        if self.initial_values:
-            stg = stg.copy()
-            stg.set_initial_values(self.initial_values)
-        stats = stg.statistics()
-        report = ImplementabilityReport(
-            stg_name=stg.name, method="symbolic",
-            num_places=stats["places"],
-            num_transitions=stats["transitions"],
-            num_signals=stats["signals"])
-        timer = PhaseTimer()
+        """Run the three phases and fill an :class:`ImplementabilityReport`.
 
-        encoding = SymbolicEncoding(stg, ordering=self.ordering)
-        image = SymbolicImage(encoding)
-
-        # Phase 1: traversal + consistency (+ safeness).
-        with timer.phase("T+C"):
-            reached, traversal_stats = symbolic_traversal(
-                encoding, image=image, strategy=self.traversal_strategy)
-            consistency = check_consistency(encoding, reached, image.charfun)
-            safeness = check_safeness(encoding, reached, image.charfun)
-        report.num_states = traversal_stats.num_states
-        report.bdd_peak_nodes = traversal_stats.peak_nodes
-        report.bdd_final_nodes = traversal_stats.final_nodes
-        report.bdd_variables = traversal_stats.num_variables
-        report.bounded = True  # safe-semantics traversal always terminates
-        report.safe = safeness.safe
-        report.consistent = consistency.consistent
-        report.add_verdict("bounded (safe semantics)", True)
-        report.add_verdict("safeness", safeness.safe,
-                           [str(safeness)] if not safeness.safe else [])
-        report.add_verdict("consistent state assignment",
-                           consistency.consistent,
-                           [f"signal {s}" for s in consistency.violating_signals])
-
-        # Phase 2: persistency and fake conflicts.
-        with timer.phase("NI-p"):
-            signal_persistency = check_signal_persistency(
-                encoding, reached, image,
-                arbitration_places=self.arbitration_places)
-            transition_persistency = check_transition_persistency(
-                encoding, reached, image)
-            conflicts = classify_conflicts(encoding, reached, image)
-        report.output_persistent = signal_persistency.persistent
-        report.fake_free = conflicts.fake_free(stg)
-        report.add_verdict("signal persistency", signal_persistency.persistent,
-                           [str(v) for v in signal_persistency.violations[:5]])
-        report.add_verdict("transition persistency",
-                           transition_persistency.persistent,
-                           [str(v) for v in transition_persistency.violations[:5]])
-        report.add_verdict(
-            "fake-conflict freedom", bool(report.fake_free),
-            [f"symmetric fake conflict ({c.first}, {c.second})"
-             for c in conflicts.symmetric_fake[:3]]
-            + [f"asymmetric fake conflict ({c.first}, {c.second})"
-               for c in conflicts.asymmetric_fake[:3]])
-
-        # Phase 3: CSC, determinism, CSC-reducibility.
-        with timer.phase("CSC"):
-            csc = check_csc(encoding, reached, image.charfun)
-            determinism = check_determinism(encoding, reached, image.charfun)
-            complementary = check_complementary_input_sequences(
-                encoding, reached, image)
-            commutative = self._commutativity_verdict(
-                report.fake_free, traversal_stats.num_states)
-        report.csc = csc.csc
-        report.usc = csc.usc
-        report.deterministic = determinism.deterministic
-        report.complementary_free = complementary.free
-        report.commutative = commutative
-        report.add_verdict("complete state coding (CSC)", csc.csc,
-                           [f"signal {s}" for s in csc.violating_signals])
-        report.add_verdict("unique state coding (USC)", csc.usc)
-        report.add_verdict("determinism", determinism.deterministic,
-                           [f"{a} / {b}" for a, b in determinism.violating_pairs])
-        report.add_verdict(
-            "CSC-reducibility", bool(report.csc_reducible),
-            [f"mutually complementary input sequences for "
-             f"{', '.join(complementary.offending_signals)}"]
-            if complementary.offending_signals else [])
-
-        # Optional phase 4: liveness extras.
-        if self.include_liveness:
-            from repro.core.deadlock import (
-                check_deadlock_freedom,
-                check_reversibility,
-            )
-
-            with timer.phase("live"):
-                deadlocks = check_deadlock_freedom(encoding, reached,
-                                                   image.charfun)
-                reversibility = check_reversibility(encoding, reached, image)
-            report.add_verdict("deadlock freedom", deadlocks.deadlock_free,
-                               [str(deadlocks)] if not deadlocks.deadlock_free
-                               else [])
-            report.add_verdict("reversibility", reversibility.reversible,
-                               [str(reversibility)]
-                               if not reversibility.reversible else [])
-
-        report.timings = timer.as_dict()
-        return report
-
-    # ------------------------------------------------------------------
-    def _commutativity_verdict(self, fake_free: bool,
-                               num_states: int) -> Optional[bool]:
-        """Commutativity via fake-freedom, with an explicit fallback.
-
-        Section 5.4: a fake-free STG is commutative, so no further work is
-        needed in the common case.  With fake conflicts present the
-        property is genuinely per-state; the explicit check is run when the
-        state count is small enough, otherwise the verdict stays undecided.
+        The configuration attributes are read at call time (they can be
+        adjusted between calls); each call builds a fresh
+        :class:`~repro.core.pipeline.VerificationPipeline`, kept on
+        :attr:`pipeline` for further reuse.
         """
-        if fake_free:
-            return True
-        if num_states > self.commutativity_fallback_states:
-            return None
-        from repro.sg.builder import build_state_graph
-        from repro.sg.reducibility import check_commutativity
-
-        stg = self.stg
-        result = build_state_graph(stg, self.initial_values,
-                                   max_states=self.commutativity_fallback_states)
-        return check_commutativity(result.graph, stg).commutative
+        self.pipeline = VerificationPipeline(
+            self.stg,
+            arbitration_places=self.arbitration_places,
+            ordering=self.ordering,
+            traversal_strategy=self.traversal_strategy,
+            initial_values=self.initial_values,
+            commutativity_fallback_states=self.commutativity_fallback_states)
+        return self.pipeline.run(include_liveness=self.include_liveness)

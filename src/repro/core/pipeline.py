@@ -1,0 +1,284 @@
+"""The shared symbolic verification pipeline.
+
+Every property check of the paper needs the same expensive intermediates:
+the boolean encoding of the net, the symbolic image operators and -- above
+all -- the reachable-state BDD of the Figure 5 traversal.  Before this
+module existed each consumer (the checker, the CLI extras, the synthesis
+flow, the integration tests) rebuilt that chain from scratch, re-running
+the traversal.
+
+:class:`VerificationPipeline` computes the chain **once**, lazily, and
+hands the cached intermediates to every checker:
+
+    parse -> :class:`~repro.core.encoding.SymbolicEncoding`
+          -> :class:`~repro.core.image.SymbolicImage`
+          -> reachable-state BDD (one traversal)
+          -> consistency / safeness / persistency / CSC / deadlock / ...
+
+Individual property results are cached as well, so asking for the full
+report after probing a single property does not repeat work.  The
+:class:`~repro.core.checker.ImplementabilityChecker` facade is now a thin
+wrapper around this class, and the ``batch-check`` CLI mode drives one
+pipeline per benchmark-corpus entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.core.consistency import check_consistency
+from repro.core.csc import check_csc
+from repro.core.deadlock import check_deadlock_freedom, check_reversibility
+from repro.core.encoding import SymbolicEncoding
+from repro.core.fake_conflicts import classify_conflicts
+from repro.core.image import SymbolicImage
+from repro.core.persistency import (
+    check_signal_persistency,
+    check_transition_persistency,
+)
+from repro.core.reducibility import (
+    check_complementary_input_sequences,
+    check_determinism,
+)
+from repro.core.safeness import check_safeness
+from repro.core.traversal import symbolic_traversal
+from repro.report import ImplementabilityReport
+from repro.stg.stg import STG
+from repro.utils.timing import PhaseTimer
+
+
+class VerificationPipeline:
+    """One STG, one traversal, every property check.
+
+    Parameters mirror :class:`~repro.core.checker.ImplementabilityChecker`
+    (which delegates here); see its docstring for their meaning.
+
+    The chain properties (:attr:`encoding`, :attr:`image`, :attr:`reached`)
+    and every property method are lazy and cached: the first access pays
+    the cost, later accesses are free.  Phase timings in the report of
+    :meth:`run` therefore measure only work that had not been triggered
+    earlier on the same pipeline.
+    """
+
+    def __init__(self, stg: STG,
+                 arbitration_places: Optional[Iterable[str]] = None,
+                 ordering: str = "force",
+                 traversal_strategy: str = "chained",
+                 initial_values: Optional[Dict[str, bool]] = None,
+                 commutativity_fallback_states: int = 10_000) -> None:
+        if initial_values:
+            stg = stg.copy()
+            stg.set_initial_values(initial_values)
+        self.stg = stg
+        self.arbitration_places = list(arbitration_places or ())
+        self.ordering = ordering
+        self.traversal_strategy = traversal_strategy
+        self.commutativity_fallback_states = commutativity_fallback_states
+        self._encoding: Optional[SymbolicEncoding] = None
+        self._image: Optional[SymbolicImage] = None
+        self._reached = None
+        self._traversal_stats = None
+        self._results: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # The shared intermediate chain
+    # ------------------------------------------------------------------
+    @property
+    def encoding(self) -> SymbolicEncoding:
+        if self._encoding is None:
+            self._encoding = SymbolicEncoding(self.stg, ordering=self.ordering)
+        return self._encoding
+
+    @property
+    def image(self) -> SymbolicImage:
+        if self._image is None:
+            self._image = SymbolicImage(self.encoding)
+        return self._image
+
+    @property
+    def charfun(self):
+        return self.image.charfun
+
+    @property
+    def reached(self):
+        """The reachable-state BDD; the traversal runs exactly once."""
+        if self._reached is None:
+            self._reached, self._traversal_stats = symbolic_traversal(
+                self.encoding, image=self.image,
+                strategy=self.traversal_strategy)
+        return self._reached
+
+    @property
+    def traversal_stats(self):
+        self.reached
+        return self._traversal_stats
+
+    # ------------------------------------------------------------------
+    # Property checks (each reuses the chain, each cached)
+    # ------------------------------------------------------------------
+    def _cached(self, key: str, compute):
+        if key not in self._results:
+            self._results[key] = compute()
+        return self._results[key]
+
+    def consistency(self):
+        return self._cached("consistency", lambda: check_consistency(
+            self.encoding, self.reached, self.charfun))
+
+    def safeness(self):
+        return self._cached("safeness", lambda: check_safeness(
+            self.encoding, self.reached, self.charfun))
+
+    def signal_persistency(self):
+        return self._cached("signal_persistency",
+                            lambda: check_signal_persistency(
+                                self.encoding, self.reached, self.image,
+                                arbitration_places=self.arbitration_places))
+
+    def transition_persistency(self):
+        return self._cached("transition_persistency",
+                            lambda: check_transition_persistency(
+                                self.encoding, self.reached, self.image))
+
+    def conflicts(self):
+        return self._cached("conflicts", lambda: classify_conflicts(
+            self.encoding, self.reached, self.image))
+
+    def fake_free(self) -> bool:
+        return bool(self.conflicts().fake_free(self.stg))
+
+    def csc(self):
+        return self._cached("csc", lambda: check_csc(
+            self.encoding, self.reached, self.charfun))
+
+    def determinism(self):
+        return self._cached("determinism", lambda: check_determinism(
+            self.encoding, self.reached, self.charfun))
+
+    def complementary_inputs(self):
+        return self._cached("complementary_inputs",
+                            lambda: check_complementary_input_sequences(
+                                self.encoding, self.reached, self.image))
+
+    def deadlock_freedom(self):
+        return self._cached("deadlock_freedom", lambda: check_deadlock_freedom(
+            self.encoding, self.reached, self.charfun))
+
+    def reversibility(self):
+        return self._cached("reversibility", lambda: check_reversibility(
+            self.encoding, self.reached, self.image))
+
+    def commutativity(self) -> Optional[bool]:
+        """Commutativity via fake-freedom, with an explicit fallback.
+
+        Section 5.4: a fake-free STG is commutative, so no further work is
+        needed in the common case.  With fake conflicts present the
+        property is genuinely per-state; the explicit check is run when
+        the state count is small enough, otherwise the verdict stays
+        undecided (``None``).
+        """
+        return self._cached("commutativity", self._compute_commutativity)
+
+    def _compute_commutativity(self) -> Optional[bool]:
+        if self.fake_free():
+            return True
+        if self.traversal_stats.num_states > self.commutativity_fallback_states:
+            return None
+        from repro.sg.builder import build_state_graph
+        from repro.sg.reducibility import check_commutativity
+
+        result = build_state_graph(
+            self.stg, max_states=self.commutativity_fallback_states)
+        return check_commutativity(result.graph, self.stg).commutative
+
+    # ------------------------------------------------------------------
+    # Full report
+    # ------------------------------------------------------------------
+    def run(self, include_liveness: bool = False) -> ImplementabilityReport:
+        """Run the three phases (plus optional liveness) and build a report."""
+        stg = self.stg
+        stats = stg.statistics()
+        report = ImplementabilityReport(
+            stg_name=stg.name, method="symbolic",
+            num_places=stats["places"],
+            num_transitions=stats["transitions"],
+            num_signals=stats["signals"])
+        timer = PhaseTimer()
+
+        # Phase 1: traversal + consistency (+ safeness).
+        with timer.phase("T+C"):
+            self.reached
+            consistency = self.consistency()
+            safeness = self.safeness()
+        traversal_stats = self.traversal_stats
+        report.num_states = traversal_stats.num_states
+        report.bdd_peak_nodes = traversal_stats.peak_nodes
+        report.bdd_final_nodes = traversal_stats.final_nodes
+        report.bdd_variables = traversal_stats.num_variables
+        report.bounded = True  # safe-semantics traversal always terminates
+        report.safe = safeness.safe
+        report.consistent = consistency.consistent
+        report.add_verdict("bounded (safe semantics)", True)
+        report.add_verdict("safeness", safeness.safe,
+                           [str(safeness)] if not safeness.safe else [])
+        report.add_verdict("consistent state assignment",
+                           consistency.consistent,
+                           [f"signal {s}" for s in consistency.violating_signals])
+
+        # Phase 2: persistency and fake conflicts.
+        with timer.phase("NI-p"):
+            signal_persistency = self.signal_persistency()
+            transition_persistency = self.transition_persistency()
+            conflicts = self.conflicts()
+        report.output_persistent = signal_persistency.persistent
+        report.fake_free = conflicts.fake_free(stg)
+        report.add_verdict("signal persistency", signal_persistency.persistent,
+                           [str(v) for v in signal_persistency.violations[:5]])
+        report.add_verdict("transition persistency",
+                           transition_persistency.persistent,
+                           [str(v) for v in transition_persistency.violations[:5]])
+        report.add_verdict(
+            "fake-conflict freedom", bool(report.fake_free),
+            [f"symmetric fake conflict ({c.first}, {c.second})"
+             for c in conflicts.symmetric_fake[:3]]
+            + [f"asymmetric fake conflict ({c.first}, {c.second})"
+               for c in conflicts.asymmetric_fake[:3]])
+
+        # Phase 3: CSC, determinism, CSC-reducibility.
+        with timer.phase("CSC"):
+            csc = self.csc()
+            determinism = self.determinism()
+            complementary = self.complementary_inputs()
+            commutative = self.commutativity()
+        report.csc = csc.csc
+        report.usc = csc.usc
+        report.deterministic = determinism.deterministic
+        report.complementary_free = complementary.free
+        report.commutative = commutative
+        report.add_verdict("complete state coding (CSC)", csc.csc,
+                           [f"signal {s}" for s in csc.violating_signals])
+        report.add_verdict("unique state coding (USC)", csc.usc)
+        report.add_verdict("determinism", determinism.deterministic,
+                           [f"{a} / {b}" for a, b in determinism.violating_pairs])
+        report.add_verdict(
+            "CSC-reducibility", bool(report.csc_reducible),
+            [f"mutually complementary input sequences for "
+             f"{', '.join(complementary.offending_signals)}"]
+            if complementary.offending_signals else [])
+
+        # Optional phase 4: liveness extras.
+        if include_liveness:
+            with timer.phase("live"):
+                deadlocks = self.deadlock_freedom()
+                reversibility = self.reversibility()
+            report.deadlock_free = deadlocks.deadlock_free
+            report.reversible = reversibility.reversible
+            report.add_verdict("deadlock freedom", deadlocks.deadlock_free,
+                               [str(deadlocks)] if not deadlocks.deadlock_free
+                               else [])
+            report.add_verdict("reversibility", reversibility.reversible,
+                               [str(reversibility)]
+                               if not reversibility.reversible else [])
+
+        report.timings = timer.as_dict()
+        return report

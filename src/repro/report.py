@@ -68,6 +68,9 @@ class ImplementabilityReport:
     commutative: Optional[bool] = None
     complementary_free: Optional[bool] = None
     fake_free: Optional[bool] = None
+    # Liveness extras (only filled when liveness checking is requested).
+    deadlock_free: Optional[bool] = None
+    reversible: Optional[bool] = None
     # Evidence.
     verdicts: List[PropertyVerdict] = field(default_factory=list)
     # Performance data (phase name -> seconds), mirroring Table 1 columns.
@@ -162,6 +165,8 @@ class ImplementabilityReport:
             "usc": self.usc,
             "csc_reducible": self.csc_reducible,
             "fake_free": self.fake_free,
+            "deadlock_free": self.deadlock_free,
+            "reversible": self.reversible,
             "classification": str(self.classification),
             "bdd_peak": self.bdd_peak_nodes,
             "bdd_final": self.bdd_final_nodes,

@@ -21,11 +21,23 @@ cover unlabelled events) and raise :class:`~repro.stg.signals.STGError`.
 
 from __future__ import annotations
 
+import os
 import re
 from typing import Dict, List, Optional, Tuple
 
 from repro.stg.signals import STGError, SignalKind, SignalTransition
 from repro.stg.stg import STG
+
+
+class SpecificationNotFound(STGError, FileNotFoundError):
+    """A ``.g`` path does not exist.
+
+    Subclasses both :class:`~repro.stg.signals.STGError` (so STG-level
+    error handling catches it) and :class:`FileNotFoundError` (so callers
+    written against the old behaviour keep working).  The message names
+    the benchmark-corpus entries that can be materialised instead of the
+    missing file.
+    """
 
 _TRANSITION_RE = re.compile(
     r"^[A-Za-z_][A-Za-z_0-9.\[\]]*[+-](/\d+)?$")
@@ -94,7 +106,22 @@ def parse_g(text: str, name: Optional[str] = None) -> STG:
 
 
 def read_g_file(path: str) -> STG:
-    """Read and parse a ``.g`` file."""
+    """Read and parse a ``.g`` file.
+
+    A missing path raises :class:`SpecificationNotFound`, whose message
+    lists the named entries of :mod:`repro.corpus` (each can be written
+    out with ``corpus.write_g(name, path)``) -- a bare
+    ``FileNotFoundError`` gives the user nothing to act on.
+    """
+    if not os.path.exists(path):
+        # Imported lazily: repro.corpus parses its entries through this
+        # module, so a top-level import would be circular.
+        from repro.corpus import names as corpus_names
+
+        available = ", ".join(corpus_names())
+        raise SpecificationNotFound(
+            f"no such .g file: {path!r}; known corpus entries (materialise "
+            f"one with repro.corpus.write_g(name, path)): {available}")
     with open(path, "r", encoding="utf-8") as handle:
         return parse_g(handle.read())
 

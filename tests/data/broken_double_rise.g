@@ -1,0 +1,12 @@
+.model broken_double_rise
+.inputs a
+.outputs b
+.graph
+b+ a+
+a+ b+/2
+b+/2 b-
+b- a-
+a- b+
+.marking { <a-,b+> }
+.initial_values a=0 b=0
+.end

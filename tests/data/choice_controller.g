@@ -1,0 +1,16 @@
+.model choice_controller
+.inputs r1 r2
+.outputs g
+.graph
+p0 r1+ r2+
+r1+ g+
+g+ r1-
+r1- g-
+g- p0
+r2+ g+/2
+g+/2 r2-
+r2- g-/2
+g-/2 p0
+.marking { p0 }
+.initial_values g=0 r1=0 r2=0
+.end

@@ -1,0 +1,15 @@
+.model sbuf_send_ctl
+.inputs req done
+.outputs ack latch
+.graph
+req+ latch+
+latch+ done+
+done+ ack+
+ack+ req-
+req- latch-
+latch- done-
+done- ack-
+ack- req+
+.marking { <ack-,req+> }
+.initial_values ack=0 done=0 latch=0 req=0
+.end

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import corpus
 from repro.cli import build_argument_parser, load_specification, main
 from repro.stg import write_g
 from repro.stg.generators import handshake
@@ -88,3 +89,45 @@ class TestMain:
         # gate-implementable, so no equations can be derived.
         assert main(["csc_violation", "--synthesize"]) == 0
         assert "synthesis skipped" in capsys.readouterr().out
+
+
+class TestBatchCheck:
+    """The corpus sweep: ``stg-check batch-check``."""
+
+    def test_full_sweep_matches_registry(self, capsys):
+        assert main(["batch-check"]) == 0
+        output = capsys.readouterr().out
+        for name in corpus.names():
+            assert name in output
+        assert "0 mismatching" in output
+        assert "MISMATCH" not in output
+
+    def test_selected_entries_only(self, capsys):
+        assert main(["batch-check", "vme_read", "handshake"]) == 0
+        output = capsys.readouterr().out
+        assert "vme_read" in output and "handshake" in output
+        assert "mutex_element" not in output
+        assert "2 entries" in output
+
+    def test_explicit_engine(self, capsys):
+        assert main(["batch-check", "handshake", "choice_controller",
+                     "--engine", "explicit"]) == 0
+        assert "engine: explicit" in capsys.readouterr().out
+
+    def test_list_mode(self, capsys):
+        assert main(["batch-check", "--list"]) == 0
+        output = capsys.readouterr().out
+        for name in corpus.names():
+            assert name in output
+
+    def test_unknown_entry_is_an_argument_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["batch-check", "no_such_entry"])
+        assert "available" in capsys.readouterr().err
+
+    def test_write_dir_materialises_files(self, tmp_path, capsys):
+        assert main(["batch-check", "handshake",
+                     "--write-dir", str(tmp_path)]) == 0
+        path = tmp_path / "handshake.g"
+        assert path.exists()
+        assert path.read_text() == corpus.g_text("handshake")

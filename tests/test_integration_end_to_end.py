@@ -4,12 +4,18 @@ These tests exercise the complete tool flow on specification files stored
 in ``tests/data`` (written in the classical ASTG format, including one
 with explicit choice places and one deliberately broken file), i.e. the
 way an external user would drive the library.
+
+The files are checked in but owned by the benchmark corpus
+(:mod:`repro.corpus`): :func:`data_file` materialises any missing file
+from the registry, so deleting ``tests/data`` cannot break the suite, and
+``tests/corpus`` asserts the checked-in copies stay in sync.
 """
 
 import os
 
 import pytest
 
+from repro import corpus
 from repro.cli import main as cli_main
 from repro.core import ImplementabilityChecker
 from repro.core.encoding import SymbolicEncoding
@@ -29,7 +35,7 @@ DATA_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "data")
 
 
 def data_file(name: str) -> str:
-    return os.path.join(DATA_DIR, name)
+    return corpus.ensure_g_file(os.path.splitext(name)[0], DATA_DIR)
 
 
 class TestSendControllerFlow:
