@@ -1,0 +1,20 @@
+# Developer entry points. `make check` is the gate: the full unit and
+# integration suite plus a real sharded parallel sweep, so the runner
+# path is exercised outside its unit tests on every run.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test smoke bench
+
+check: test smoke
+
+test:
+	$(PYTHON) -m pytest -q
+
+smoke:
+	$(PYTHON) -m pytest -q -m smoke
+	$(PYTHON) -m repro batch-check --shard 0/8 --jobs 2
+
+bench:
+	$(PYTHON) -m pytest benchmarks --benchmark-only

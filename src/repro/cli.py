@@ -9,19 +9,24 @@ engine::
     stg-check path/to/spec.g --explicit
     stg-check mutex_element --arbitration p_me
 
-The ``batch-check`` mode sweeps the whole benchmark corpus
-(:mod:`repro.corpus`) in one invocation and validates every per-property
-verdict against the registry's expected metadata::
+The ``batch-check`` mode sweeps the benchmark corpus (:mod:`repro.corpus`)
+through the sweep runner (:mod:`repro.runner`) and validates every
+per-property verdict against the registry's expected metadata::
 
     stg-check batch-check                 # every corpus entry
     stg-check batch-check vme_read mutex_element
     stg-check batch-check --engine explicit
     stg-check batch-check --list
+    stg-check batch-check --jobs 4 --cache-dir .repro-cache
+    stg-check batch-check --shard 0/8 --jobs 2
+    stg-check batch-check --family random_ring:1-100 --json report.json
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
+import json
 import os
 import sys
 from typing import List, Optional
@@ -75,22 +80,52 @@ def build_argument_parser() -> argparse.ArgumentParser:
 def build_batch_check_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="stg-check batch-check",
-        description="Sweep the benchmark corpus (repro.corpus) and validate "
+        description="Sweep the benchmark corpus (repro.corpus) through the "
+                    "parallel sharded runner (repro.runner) and validate "
                     "every per-property verdict against the registry's "
                     "expected metadata.")
     parser.add_argument("names", nargs="*", metavar="NAME",
                         help="corpus entries to check (default: all)")
     parser.add_argument("--list", action="store_true", dest="list_entries",
-                        help="list the corpus entries and exit")
+                        help="list the corpus entries with their expected-"
+                             "verdict metadata and exit")
     parser.add_argument("--engine", choices=["symbolic", "explicit"],
                         default="symbolic",
                         help="verification engine (default: symbolic)")
     parser.add_argument("--ordering", choices=list(ORDERING_STRATEGIES),
                         default="force",
                         help="BDD variable ordering strategy (symbolic only)")
+    parser.add_argument("--family", action="append", default=[],
+                        metavar="FAMILY:SCALES", dest="families",
+                        help="additionally sweep a scalable family over a "
+                             "scale range, e.g. random_ring:1-100 or "
+                             "muller_pipeline:6 (repeatable)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="number of worker processes (default: 1, "
+                             "in-process)")
+    parser.add_argument("--shard", default="0/1", metavar="I/N",
+                        help="run only shard I of an N-way round-robin "
+                             "partition of the sweep (default: 0/1)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-entry timeout; needs --jobs >= 2 to be "
+                             "enforceable (the worker is terminated)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persist per-entry results under DIR and skip "
+                             "entries whose content and engine config are "
+                             "unchanged (reported as 'cached')")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir: recompute everything and "
+                             "do not touch the store")
+    parser.add_argument("--json", metavar="PATH", dest="json_path",
+                        default=None,
+                        help="write the full sweep result (same schema as "
+                             "the run store) as JSON to PATH, or '-' for "
+                             "stdout")
     parser.add_argument("--write-dir", metavar="DIR", default=None,
                         help="additionally materialise the .g files of the "
-                             "checked entries under DIR")
+                             "checked entries under DIR (shard- and "
+                             "family-aware: exactly the swept tasks)")
     return parser
 
 
@@ -185,64 +220,139 @@ def _run_extras(stg, arguments, report,
 
 
 # ----------------------------------------------------------------------
-# batch-check: sweep the benchmark corpus
+# batch-check: sweep the benchmark corpus through the runner
 # ----------------------------------------------------------------------
 def batch_check_main(argv: List[str]) -> int:
-    """Run every (selected) corpus entry and validate its metadata."""
+    """Thin front-end over :mod:`repro.runner` for corpus sweeps."""
     from repro import corpus
+    from repro.runner import (
+        PlanError,
+        RunStore,
+        ShardSpec,
+        SweepPlan,
+        SweepRunner,
+        parse_family_spec,
+    )
 
     parser = build_batch_check_parser()
     arguments = parser.parse_args(argv)
 
     if arguments.list_entries:
-        width = max(len(name) for name in corpus.names())
-        for name in corpus.names():
-            item = corpus.entry(name)
-            print(f"{name:<{width}}  [{item.source}] {item.description}")
+        _print_corpus_listing()
         return 0
 
     try:
-        selection = [corpus.entry(name).name
+        selection = [_resolve_entry(name, parser).name
                      for name in (arguments.names or corpus.names())]
-    except corpus.CorpusError as error:
+        plan = SweepPlan(
+            names=selection,
+            families=[parse_family_spec(spec)
+                      for spec in arguments.families],
+            engine=arguments.engine,
+            ordering=arguments.ordering,
+            jobs=arguments.jobs,
+            shard=ShardSpec.parse(arguments.shard),
+            timeout=arguments.timeout)
+        plan.tasks()  # expand now: bad family names/scales become usage
+    except PlanError as error:  # errors here, not tracebacks mid-sweep
         parser.error(str(error))
         return 2
 
     if arguments.write_dir:
-        corpus.write_all(arguments.write_dir, selection)
+        _write_swept_tasks(plan, arguments.write_dir)
 
-    mismatching_entries = 0
-    width = max(len(name) for name in selection)
-    for name in selection:
-        item = corpus.entry(name)
-        stg = corpus.load(name)
-        if arguments.engine == "explicit":
-            report = ExplicitChecker(
-                stg, arbitration_places=item.arbitration_places).check()
+    store = None
+    if arguments.cache_dir and not arguments.no_cache:
+        store = RunStore(arguments.cache_dir)
+
+    sweep = SweepRunner(plan, store=store).run()
+
+    width = max((len(result.name) for result in sweep), default=1)
+    for result in sweep:
+        _print_entry_result(result, width)
+    print(f"batch-check: {len(sweep)} entries, "
+          f"{sweep.matching} matching the registry metadata, "
+          f"{sweep.mismatching} mismatching, {sweep.errors} errors, "
+          f"{sweep.cached} cached "
+          f"[engine: {plan.engine}, jobs: {plan.jobs}, "
+          f"shard: {plan.shard}]")
+
+    if arguments.json_path:
+        payload = json.dumps(sweep.to_json_dict(), indent=2, sort_keys=True)
+        if arguments.json_path == "-":
+            print(payload)
         else:
-            pipeline = VerificationPipeline(
-                stg, arbitration_places=item.arbitration_places,
-                ordering=arguments.ordering)
-            report = pipeline.run(include_liveness=True)
-        mismatches = item.mismatches(report)
-        verdicts = (f"states={report.num_states:<6d} "
-                    f"consistent={_flag(report.consistent)} "
-                    f"persistent={_flag(report.output_persistent)} "
-                    f"csc={_flag(report.csc)} "
-                    f"deadlock_free={_flag(report.deadlock_free)}")
-        status = "ok" if not mismatches else "MISMATCH"
-        print(f"{name:<{width}}  {verdicts} "
-              f"{str(report.classification):<38} [{status}]")
-        for problem in mismatches:
-            print(f"{'':<{width}}    {problem}")
-        if mismatches:
-            mismatching_entries += 1
-    total = len(selection)
-    print(f"batch-check: {total} entries, "
-          f"{total - mismatching_entries} matching the registry metadata, "
-          f"{mismatching_entries} mismatching "
-          f"[engine: {arguments.engine}]")
-    return 0 if mismatching_entries == 0 else 1
+            with open(arguments.json_path, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+    return 0 if sweep.succeeded else 1
+
+
+def _write_swept_tasks(plan, directory: str) -> None:
+    """Materialise the ``.g`` text of exactly the swept tasks.
+
+    Task-based (not registry-based), so family instances are included and
+    a ``--shard`` run writes only its own slice.
+    """
+    os.makedirs(directory, exist_ok=True)
+    for task in plan.shard_tasks():
+        path = os.path.join(directory, f"{task.name}.g")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(task.g_text)
+
+
+def _resolve_entry(name: str, parser: argparse.ArgumentParser):
+    """Corpus lookup with a did-you-mean suggestion on unknown names.
+
+    ``parser.error`` exits with status 2, matching argparse's own usage
+    errors.
+    """
+    from repro import corpus
+
+    try:
+        return corpus.entry(name)
+    except corpus.CorpusError as error:
+        close = difflib.get_close_matches(name, corpus.names(), n=3)
+        suggestion = f"; did you mean: {', '.join(close)}?" if close else ""
+        parser.error(f"{error}{suggestion}")  # exits with status 2
+
+
+def _print_corpus_listing() -> None:
+    """One entry per block: name, source, expected verdicts, description."""
+    from repro import corpus
+
+    width = max(len(name) for name in corpus.names())
+    for name in corpus.names():
+        item = corpus.entry(name)
+        expected = " ".join(
+            f"{key}={_metadata_value(value)}"
+            for key, value in item.expected.items())
+        print(f"{name:<{width}}  [{item.source}] {item.description}")
+        print(f"{'':<{width}}  expected: {expected}")
+
+
+def _metadata_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def _print_entry_result(result, width: int) -> None:
+    report = result.report_object()
+    if report is None:  # error or timeout: no verdicts to show
+        print(f"{result.name:<{width}}  "
+              f"[{result.display_status}] {result.error}")
+        return
+    verdicts = (f"states={report.num_states:<6d} "
+                f"consistent={_flag(report.consistent)} "
+                f"persistent={_flag(report.output_persistent)} "
+                f"csc={_flag(report.csc)} "
+                f"deadlock_free={_flag(report.deadlock_free)}")
+    status = ("MISMATCH" if result.status == "mismatch"
+              else result.display_status)
+    print(f"{result.name:<{width}}  {verdicts} "
+          f"{str(report.classification):<38} [{status}]")
+    for problem in result.mismatches:
+        print(f"{'':<{width}}    {problem}")
 
 
 def _flag(value: Optional[bool]) -> str:

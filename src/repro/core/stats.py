@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass, fields
+from typing import Dict, Mapping
 
 
 @dataclass
@@ -28,6 +28,7 @@ class TraversalStats:
         self.final_nodes = nodes
 
     def as_dict(self) -> Dict[str, int]:
+        """Short-key row used by the benchmark harness tables."""
         return {
             "iterations": self.iterations,
             "images": self.images_computed,
@@ -36,3 +37,21 @@ class TraversalStats:
             "variables": self.num_variables,
             "states": self.num_states,
         }
+
+    # ------------------------------------------------------------------
+    # JSON schema shared by the sweep runner's RunStore and --json report
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, int]:
+        """Lossless, JSON-serialisable form (field names as keys).
+
+        ``from_dict(to_dict(stats)) == stats`` holds exactly; this is the
+        schema the :mod:`repro.runner` result cache persists.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "TraversalStats":
+        """Rebuild stats from :meth:`to_dict` output (unknown keys ignored)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items()
+                      if key in known})

@@ -36,6 +36,7 @@ from repro.corpus.registry import (
     CorpusEntry,
     ScalableFamily,
     family,
+    mismatches_against,
 )
 
 __all__ = [
@@ -45,6 +46,7 @@ __all__ = [
     "CorpusEntry",
     "ScalableFamily",
     "family",
+    "mismatches_against",
     "CorpusError",
     "ensure_g_file",
     "entry",

@@ -45,6 +45,34 @@ REPORT_FIELDS: Dict[str, str] = {
 }
 
 
+def mismatches_against(expected: Mapping[str, object],
+                       report) -> List[str]:
+    """Expected-vs-observed differences for a finished report.
+
+    Shared by :meth:`CorpusEntry.mismatches` and the sweep-runner workers,
+    whose expected mappings have been round-tripped through JSON (so a
+    ``classification`` value may be either an
+    :class:`~repro.report.ImplementabilityClass` or its string form --
+    both compare via ``str``).  Expected keys whose report field is
+    ``None`` (not computed by the engine that produced the report, e.g.
+    deadlock freedom on the explicit engine) are skipped rather than
+    counted as mismatches.
+    """
+    problems: List[str] = []
+    for key, wanted in expected.items():
+        observed = getattr(report, REPORT_FIELDS[key])
+        if observed is None:
+            continue
+        if key == "classification":
+            if str(observed) != str(wanted):
+                problems.append(
+                    f"{key}: expected {wanted}, observed {observed}")
+        elif observed != wanted:
+            problems.append(
+                f"{key}: expected {wanted}, observed {observed}")
+    return problems
+
+
 @dataclass
 class CorpusEntry:
     """One named benchmark: canonical ``.g`` text plus expected metadata.
@@ -58,7 +86,7 @@ class CorpusEntry:
 
     name: str
     description: str
-    source: str  # "fixture" | "table1" | "negative"
+    source: str  # "fixture" | "table1" | "negative" | "random"
     num_inputs: int
     num_outputs: int
     expected: Mapping[str, object]
@@ -85,21 +113,8 @@ class CorpusEntry:
         return self.num_inputs + self.num_outputs + self.num_internals
 
     def mismatches(self, report) -> List[str]:
-        """Expected-vs-observed differences for a finished report.
-
-        Expected keys whose report field is ``None`` (not computed by the
-        engine that produced the report, e.g. deadlock freedom on the
-        explicit engine) are skipped rather than counted as mismatches.
-        """
-        problems: List[str] = []
-        for key, expected in self.expected.items():
-            observed = getattr(report, REPORT_FIELDS[key])
-            if observed is None:
-                continue
-            if observed != expected:
-                problems.append(
-                    f"{key}: expected {expected}, observed {observed}")
-        return problems
+        """Expected-vs-observed differences (see :func:`mismatches_against`)."""
+        return mismatches_against(self.expected, report)
 
 
 def _no_arbitration(stg) -> List[str]:
@@ -148,6 +163,19 @@ FAMILIES: Dict[str, ScalableFamily] = {
             builder=generators.mutex_element,
             expected={"consistent": True, "persistent": True, "csc": True},
             arbitration=generators.mutex_arbitration_places),
+        # The random families only pin their structural invariants: CSC
+        # legitimately varies per seed (that is their point -- a scale
+        # sweep exercises every implementability class).
+        ScalableFamily(
+            name="random_ring",
+            builder=generators.random_ring_family,
+            expected={"consistent": True, "persistent": True,
+                      "deadlock_free": True}),
+        ScalableFamily(
+            name="random_parallel",
+            builder=generators.random_parallel_family,
+            expected={"consistent": True, "persistent": True,
+                      "deadlock_free": True}),
     )
 }
 
@@ -376,6 +404,62 @@ register(CorpusEntry(
               "classification": _GATE},
     builder=lambda: generators.parallel_handshakes(2)))
 
+register(CorpusEntry(
+    name="muller_pipeline_4",
+    description="Muller C-element pipeline with 4 stages: the next depth "
+                "step of the paper's scalable pipeline family.",
+    source="table1",
+    num_inputs=1, num_outputs=4,
+    expected={"consistent": True, "persistent": True, "csc": True,
+              "usc": True, "deadlock_free": True, "states": 32,
+              "classification": _GATE},
+    builder=lambda: generators.muller_pipeline(4)))
+
+register(CorpusEntry(
+    name="master_read_3",
+    description="Master read interface fetching from 3 concurrent slaves: "
+                "wider fork/join than master_read_2.",
+    source="table1",
+    num_inputs=4, num_outputs=4,
+    expected={"consistent": True, "persistent": True, "csc": True,
+              "usc": True, "deadlock_free": True, "states": 56,
+              "classification": _GATE},
+    builder=lambda: generators.master_read(3)))
+
+register(CorpusEntry(
+    name="parallel_handshakes_3",
+    description="Three independent 4-phase handshakes: 64 reachable states "
+                "of pure concurrency.",
+    source="table1",
+    num_inputs=3, num_outputs=3,
+    expected={"consistent": True, "persistent": True, "csc": True,
+              "usc": True, "deadlock_free": True, "states": 64,
+              "classification": _GATE},
+    builder=lambda: generators.parallel_handshakes(3)))
+
+register(CorpusEntry(
+    name="mutex3",
+    description="Three-user mutual-exclusion element: the Figure 1 "
+                "arbiter generalised to a third competing client.",
+    source="table1",
+    num_inputs=3, num_outputs=3,
+    arbitration_places=("p_me",),
+    expected={"consistent": True, "persistent": True, "csc": True,
+              "usc": True, "deadlock_free": True, "states": 32,
+              "classification": _GATE},
+    builder=lambda: generators.mutex_element(3)))
+
+register(CorpusEntry(
+    name="pipeline_env_2",
+    description="Two-stage Muller pipeline closed by an explicit "
+                "environment acknowledge loop (the synthesis example).",
+    source="table1",
+    num_inputs=2, num_outputs=2,
+    expected={"consistent": True, "persistent": True, "csc": True,
+              "usc": True, "deadlock_free": True, "states": 16,
+              "classification": _GATE},
+    builder=lambda: generators.pipeline_with_environment(2)))
+
 
 # ----------------------------------------------------------------------
 # Negative examples of Section 3
@@ -433,3 +517,55 @@ register(CorpusEntry(
               "usc": False, "deadlock_free": True, "states": 9,
               "classification": _SI},
     builder=generators.irreducible_csc_example))
+
+
+# ----------------------------------------------------------------------
+# Random benchmark families (seeded instances of repro.stg.generators)
+# ----------------------------------------------------------------------
+# Each instance is fully determined by its (size, seed) parameters, so the
+# canonical .g text is reproducible byte for byte.  Only the structural
+# invariants of the construction are pinned (consistency, persistency,
+# deadlock freedom and the analytic state count); the coding verdicts
+# (CSC/USC) vary per seed by design.  The interface split is drawn by the
+# generator, so it is read off one throwaway instance at registration time
+# (the instances are tiny -- this costs microseconds per entry).
+def _register_random_entries() -> None:
+    def _interface(stg):
+        return {"num_inputs": len(stg.inputs),
+                "num_outputs": len(stg.outputs),
+                "num_internals": len(stg.internals)}
+
+    for seed in range(1, 13):
+        signals = 3 + seed % 6
+        stg = generators.random_ring(signals, seed)
+        register(CorpusEntry(
+            name=stg.name,
+            description=f"Random sequential transition ring over {signals} "
+                        f"signals (seed {seed}): structural verdicts are "
+                        "guaranteed by construction, coding verdicts vary.",
+            source="random",
+            expected={"consistent": True, "persistent": True,
+                      "deadlock_free": True, "states": 2 * signals},
+            builder=(lambda signals=signals, seed=seed:
+                     generators.random_ring(signals, seed)),
+            **_interface(stg)))
+
+    for seed in range(1, 7):
+        rings = 2 + seed % 3
+        stg = generators.random_parallel(rings, seed)
+        register(CorpusEntry(
+            name=stg.name,
+            description=f"{rings} independent random rings running "
+                        f"concurrently (seed {seed}): randomised "
+                        "concurrency stress with an analytic state count.",
+            source="random",
+            expected={"consistent": True, "persistent": True,
+                      "deadlock_free": True,
+                      "states": generators.random_parallel_state_count(
+                          rings, seed)},
+            builder=(lambda rings=rings, seed=seed:
+                     generators.random_parallel(rings, seed)),
+            **_interface(stg)))
+
+
+_register_random_entries()

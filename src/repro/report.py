@@ -9,9 +9,9 @@ examples and the benchmark harness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 
 class ImplementabilityClass(Enum):
@@ -44,6 +44,15 @@ class PropertyVerdict:
                 shown += f"; ... ({more} more)"
             text += f": {shown}"
         return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "holds": self.holds,
+                "details": list(self.details)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "PropertyVerdict":
+        return cls(name=str(data["name"]), holds=bool(data["holds"]),
+                   details=list(data.get("details") or []))
 
 
 @dataclass
@@ -147,6 +156,39 @@ class ImplementabilityReport:
                                  for name, value in self.timings.items())
             lines.append(f"  time: {rendered} (total {self.total_time:.3f}s)")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # JSON schema shared by the sweep runner's RunStore and --json report
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless, JSON-serialisable form of every dataclass field.
+
+        Derived properties (``classification``, ``csc_reducible``) are
+        *not* stored: :meth:`from_dict` restores the underlying fields and
+        the properties recompute identically, so
+        ``from_dict(to_dict(report)) == report`` holds exactly.  This is
+        the schema the :mod:`repro.runner` workers ship across process
+        boundaries and the :class:`~repro.runner.store.RunStore` persists.
+        """
+        data: Dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "verdicts":
+                value = [verdict.to_dict() for verdict in value]
+            elif spec.name == "timings":
+                value = dict(value)
+            data[spec.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ImplementabilityReport":
+        """Rebuild a report from :meth:`to_dict` output (unknown keys ignored)."""
+        known = {spec.name for spec in fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in known}
+        kwargs["verdicts"] = [PropertyVerdict.from_dict(verdict)
+                              for verdict in kwargs.get("verdicts") or []]
+        kwargs["timings"] = dict(kwargs.get("timings") or {})
+        return cls(**kwargs)
 
     def as_dict(self) -> Dict[str, object]:
         """Flat dictionary (used by the benchmark harness to print rows)."""

@@ -1,0 +1,97 @@
+"""The persistent result cache of the sweep runner.
+
+A :class:`RunStore` lives in a cache directory and persists every
+computed :class:`~repro.runner.results.EntryResult` as one JSON line of
+``results.jsonl`` (append-only, latest record per ``(name, fingerprint)``
+key wins).  A subsequent sweep looks results up by the same key: the
+fingerprint hashes the entry's canonical ``.g`` text plus the engine
+configuration (see :attr:`repro.runner.plan.SweepTask.fingerprint`), so
+editing a specification, switching engines or bumping the result schema
+invalidates exactly the affected entries and nothing else -- and because
+the key includes the fingerprint, sweeps with different engine configs
+(or alternating content edits) can share one cache directory without
+evicting each other.
+
+Error and timeout records are persisted (they are useful history) but
+never *served* as cache hits -- a failed entry is always retried on the
+next sweep.  Corrupt lines (e.g. from an interrupted write) are skipped
+on load and dropped by :meth:`RunStore.compact`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.runner.results import EntryResult
+
+RESULTS_FILE = "results.jsonl"
+
+
+class RunStore:
+    """JSONL-backed persistent cache of sweep entry results."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.path.abspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.path = os.path.join(self.directory, RESULTS_FILE)
+        self._index: Dict[Tuple[str, str], Dict[str, object]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = (record["name"], record["fingerprint"])
+                except (ValueError, TypeError, KeyError):
+                    continue  # interrupted write; compact() drops it
+                self._index[key] = record
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, name: str) -> bool:
+        return any(key_name == name for key_name, _ in self._index)
+
+    # ------------------------------------------------------------------
+    # Cache protocol
+    # ------------------------------------------------------------------
+    def lookup(self, name: str, fingerprint: str) -> Optional[EntryResult]:
+        """A reusable result for ``name``, or ``None``.
+
+        Serves only records whose fingerprint matches the current task
+        content and that actually carry a verdict; the returned result is
+        marked :attr:`~repro.runner.results.EntryResult.cached`.
+        """
+        record = self._index.get((name, fingerprint))
+        if record is None:
+            return None
+        if record.get("status") not in ("ok", "mismatch"):
+            return None  # always retry errors and timeouts
+        result = EntryResult.from_dict(record)
+        result.cached = True
+        return result
+
+    def put(self, result: EntryResult) -> None:
+        """Persist a freshly computed result (cache hits are not re-written)."""
+        if result.cached:
+            return
+        record = result.to_dict()
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._index[(result.name, result.fingerprint)] = record
+
+    def compact(self) -> None:
+        """Rewrite the JSONL file keeping the latest record per
+        ``(name, fingerprint)`` key, dropping corrupt lines."""
+        with open(self.path + ".tmp", "w", encoding="utf-8") as handle:
+            for record in self._index.values():
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        os.replace(self.path + ".tmp", self.path)

@@ -1,0 +1,95 @@
+"""Worker-side execution of one sweep task.
+
+A worker receives a :meth:`~repro.runner.plan.SweepTask.to_payload` dict
+-- plain data, no registry access needed -- parses the canonical ``.g``
+text, runs the requested engine and ships an
+:class:`~repro.runner.results.EntryResult` dict back through its pipe.
+Everything that can go wrong inside the check (parse errors, engine
+exceptions) is caught and reported as an ``error`` result, so one
+poisoned entry never kills the sweep; only the process-level failures
+(crash, timeout) are handled by the parent scheduler.
+
+Both :func:`execute_payload` and :func:`child_main` are module-level
+functions so they pickle under every multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Dict
+
+from repro.runner.results import EntryResult
+
+
+def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Run one task payload; always returns an EntryResult dict."""
+    start = time.perf_counter()
+    name = str(payload["name"])
+    engine = str(payload["engine"])
+    fingerprint = str(payload["fingerprint"])
+    delay = float(payload.get("delay") or 0.0)
+    try:
+        if delay:
+            time.sleep(delay)
+        report, traversal = _check(payload)
+        mismatches = _mismatches(payload, report)
+        result = EntryResult(
+            name=name,
+            status="ok" if not mismatches else "mismatch",
+            engine=engine,
+            fingerprint=fingerprint,
+            report=report.to_dict(),
+            traversal=traversal,
+            mismatches=mismatches,
+            duration=time.perf_counter() - start)
+    except Exception as error:
+        result = EntryResult(
+            name=name,
+            status="error",
+            engine=engine,
+            fingerprint=fingerprint,
+            error=f"{type(error).__name__}: {error}",
+            duration=time.perf_counter() - start)
+    return result.to_dict()
+
+
+def _check(payload: Dict[str, object]):
+    """Parse and verify; returns ``(report, traversal_stats_dict)``."""
+    from repro.core.pipeline import VerificationPipeline
+    from repro.sg.checker import ExplicitChecker
+    from repro.stg.parser import parse_g
+
+    stg = parse_g(str(payload["g_text"]), name=str(payload["name"]))
+    arbitration = list(payload.get("arbitration") or [])
+    if payload["engine"] == "explicit":
+        report = ExplicitChecker(stg, arbitration_places=arbitration).check()
+        return report, None
+    pipeline = VerificationPipeline(
+        stg, arbitration_places=arbitration,
+        ordering=str(payload.get("ordering") or "force"))
+    report = pipeline.run(include_liveness=True)
+    return report, pipeline.traversal_stats.to_dict()
+
+
+def _mismatches(payload: Dict[str, object], report) -> list:
+    from repro.corpus import mismatches_against
+
+    return mismatches_against(dict(payload.get("expected") or {}), report)
+
+
+def child_main(connection, payload: Dict[str, object]) -> None:
+    """Subprocess entry point: execute, send the result dict, exit."""
+    try:
+        result = execute_payload(payload)
+    except BaseException:  # pragma: no cover - execute_payload catches
+        result = EntryResult(
+            name=str(payload.get("name", "?")),
+            status="error",
+            engine=str(payload.get("engine", "?")),
+            fingerprint=str(payload.get("fingerprint", "")),
+            error=f"worker crashed:\n{traceback.format_exc()}").to_dict()
+    try:
+        connection.send(result)
+    finally:
+        connection.close()

@@ -20,6 +20,7 @@ graph is well defined without value inference.
 
 from __future__ import annotations
 
+import random
 from typing import List
 
 from repro.stg.signals import SignalKind
@@ -419,6 +420,117 @@ def asymmetric_fake_conflict_example() -> STG:
 
 
 # ----------------------------------------------------------------------
+# Random benchmark families (seeded, reproducible)
+# ----------------------------------------------------------------------
+# The paper validates its checks on a fixed table of hand-picked circuits;
+# scaling the reproduction to corpus-size sweeps needs *families* of
+# specifications with known structural invariants but varied coding
+# behaviour.  Both generators below are driven by ``random.Random`` with a
+# seed derived from their parameters, so the same arguments always produce
+# byte-identical .g text on every platform and Python version (the
+# Mersenne-Twister sequence is part of the language spec).
+
+def _random_ring_into(stg: STG, names: List[str],
+                      rng: random.Random) -> None:
+    """Wire one random transition ring over ``names`` into ``stg``.
+
+    The ring is a random interleaving of each signal's rising and falling
+    transition in which every ``x+`` precedes the matching ``x-``; with all
+    initial values 0 and the token on the closing arc this guarantees a
+    consistent state assignment.  A ring has no choice places, so the
+    instance is also output-persistent, deadlock-free, safe, and visits
+    exactly ``2 * len(names)`` states.  Whether CSC/USC hold depends on the
+    drawn order -- which is what makes the family useful: structural
+    verdicts are pinned, coding verdicts vary per seed.
+    """
+    stg.add_signal(names[0], SignalKind.INPUT, initial_value=False)
+    stg.add_signal(names[1], SignalKind.OUTPUT, initial_value=False)
+    for name in names[2:]:
+        kind = SignalKind.INPUT if rng.random() < 0.35 else SignalKind.OUTPUT
+        stg.add_signal(name, kind, initial_value=False)
+    remaining = {name: ["+", "-"] for name in names}
+    order: List[str] = []
+    pool = list(names)
+    while pool:
+        name = rng.choice(pool)
+        order.append(name + remaining[name].pop(0))
+        if not remaining[name]:
+            pool.remove(name)
+    for current, following in zip(order, order[1:]):
+        stg.connect(current, following)
+    stg.connect(order[-1], order[0], tokens=1)
+
+
+def random_ring(signals: int, seed: int) -> STG:
+    """A random sequential transition ring over ``signals`` signals.
+
+    Guaranteed properties (any seed): consistent, output-persistent,
+    deadlock-free, safe, exactly ``2 * signals`` reachable states, at
+    least one input and one output.  CSC/USC vary with the seed, so a
+    sweep over seeds exercises every branch of the classification
+    (gate / I/O / SI-implementable).
+    """
+    if signals < 2:
+        raise ValueError("signals must be >= 2 (one input, one output)")
+    stg = STG(f"random_ring_n{signals}_s{seed}")
+    rng = random.Random(1000003 * seed + signals)
+    _random_ring_into(stg, [f"x{i}" for i in range(signals)], rng)
+    return stg
+
+
+def random_parallel_ring_sizes(rings: int, seed: int) -> List[int]:
+    """Per-ring signal counts of :func:`random_parallel` (deterministic).
+
+    Exposed so the corpus registry can pin the expected reachable-state
+    count ``prod(2 * size)`` without building the instance.
+    """
+    rng = random.Random(7919 * seed + rings)
+    return [rng.randint(2, 4) for _ in range(rings)]
+
+
+def random_parallel(rings: int, seed: int) -> STG:
+    """``rings`` independent random transition rings running concurrently.
+
+    Each ring is drawn by the :func:`random_ring` construction with its own
+    sub-seed and a size from :func:`random_parallel_ring_sizes`; the rings
+    share no places, so the reachable-state count is exactly the product of
+    the ring lengths -- a randomised version of the
+    :func:`parallel_handshakes` concurrency stress family.
+    """
+    if rings < 1:
+        raise ValueError("rings must be >= 1")
+    stg = STG(f"random_parallel_r{rings}_s{seed}")
+    for index, size in enumerate(random_parallel_ring_sizes(rings, seed)):
+        rng = random.Random((seed * 31 + index) * 1000003 + size)
+        _random_ring_into(stg, [f"r{index}x{i}" for i in range(size)], rng)
+    return stg
+
+
+def random_parallel_state_count(rings: int, seed: int) -> int:
+    """Exact reachable-state count of the matching :func:`random_parallel`."""
+    count = 1
+    for size in random_parallel_ring_sizes(rings, seed):
+        count *= 2 * size
+    return count
+
+
+def random_ring_family(scale: int) -> STG:
+    """Scalable-family adapter: one ``scale`` value = one (size, seed) pair.
+
+    The signal count cycles through 3..8 while the seed increments, so a
+    scale sweep ``1..N`` yields ``N`` structurally distinct instances --
+    this is how corpus-scale sweeps get hundreds of entries from one
+    family name.
+    """
+    return random_ring(3 + scale % 6, scale)
+
+
+def random_parallel_family(scale: int) -> STG:
+    """Scalable-family adapter for :func:`random_parallel` (2-4 rings)."""
+    return random_parallel(2 + scale % 3, scale)
+
+
+# ----------------------------------------------------------------------
 # Registry used by the CLI and the benchmark harness
 # ----------------------------------------------------------------------
 SCALABLE_FAMILIES = {
@@ -426,6 +538,8 @@ SCALABLE_FAMILIES = {
     "master_read": master_read,
     "parallel_handshakes": parallel_handshakes,
     "mutex": mutex_element,
+    "random_ring": random_ring_family,
+    "random_parallel": random_parallel_family,
 }
 
 FIXED_EXAMPLES = {

@@ -1,0 +1,135 @@
+"""Tests of sweep planning: task expansion, sharding, fingerprints."""
+
+import pytest
+
+from repro import corpus
+from repro.runner import PlanError, ShardSpec, SweepPlan, parse_family_spec
+
+
+class TestShardSpec:
+    def test_parse(self):
+        spec = ShardSpec.parse("3/8")
+        assert spec.index == 3 and spec.count == 8
+
+    def test_default_is_the_whole_sweep(self):
+        spec = ShardSpec()
+        assert all(spec.owns(position) for position in range(10))
+
+    @pytest.mark.parametrize("text", ["", "3", "3/", "/8", "a/b", "3/0",
+                                      "8/8", "-1/4"])
+    def test_invalid_specs_rejected(self, text):
+        with pytest.raises(PlanError):
+            ShardSpec.parse(text)
+
+    def test_str_roundtrip(self):
+        assert str(ShardSpec.parse("2/5")) == "2/5"
+
+
+class TestShardPartition:
+    """The core sharding contract: disjoint and jointly covering."""
+
+    @pytest.mark.parametrize("count", [1, 2, 4, 8])
+    def test_shards_partition_the_corpus(self, count):
+        full = [task.name for task in SweepPlan().tasks()]
+        shard_names = []
+        for index in range(count):
+            plan = SweepPlan(shard=ShardSpec(index, count))
+            shard_names.append([task.name for task in plan.shard_tasks()])
+        combined = [name for names in shard_names for name in names]
+        # Disjoint: no name appears in two shards.
+        assert len(combined) == len(set(combined))
+        # Covering: the union is exactly the unsharded sweep.
+        assert sorted(combined) == sorted(full)
+
+    def test_round_robin_interleaves(self):
+        full = [task.name for task in SweepPlan().tasks()]
+        plan = SweepPlan(shard=ShardSpec(1, 4))
+        assert [task.name for task in plan.shard_tasks()] == full[1::4]
+
+
+class TestTaskExpansion:
+    def test_default_plan_covers_the_corpus_in_order(self):
+        assert [task.name for task in SweepPlan().tasks()] == corpus.names()
+
+    def test_selection_preserves_given_order(self):
+        plan = SweepPlan(names=["vme_read", "handshake"])
+        assert [task.name for task in plan.tasks()] == \
+            ["vme_read", "handshake"]
+
+    def test_tasks_carry_registry_data(self):
+        task = SweepPlan(names=["mutex_element"]).tasks()[0]
+        assert task.arbitration == ("p_me",)
+        assert task.g_text == corpus.g_text("mutex_element")
+        assert task.expected["csc"] is True
+        assert task.expected["classification"] == "gate-implementable"
+
+    def test_family_instances_appended(self):
+        plan = SweepPlan(names=["handshake"],
+                         families=[("muller_pipeline", [2, 3])])
+        names = [task.name for task in plan.tasks()]
+        assert names == ["handshake", "muller_pipeline@2",
+                         "muller_pipeline@3"]
+
+    def test_unknown_family_is_a_plan_error(self):
+        with pytest.raises(PlanError, match="muller_pipeline"):
+            SweepPlan(families=[("no_such_family", [1])]).tasks()
+
+    def test_out_of_range_scale_is_a_plan_error(self):
+        with pytest.raises(PlanError, match="rejected scale 0"):
+            SweepPlan(families=[("muller_pipeline", [0])]).tasks()
+
+    def test_expansion_is_memoised_but_copied(self):
+        plan = SweepPlan(names=["handshake", "vme_read"])
+        first = plan.tasks()
+        first.pop()  # callers get a copy; mutating it is harmless
+        assert [task.name for task in plan.tasks()] == \
+            ["handshake", "vme_read"]
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(PlanError):
+            SweepPlan(engine="quantum")
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(PlanError):
+            SweepPlan(jobs=0)
+
+
+class TestFamilySpecParsing:
+    def test_single_scale(self):
+        assert parse_family_spec("muller_pipeline:6") == \
+            ("muller_pipeline", [6])
+
+    def test_range(self):
+        assert parse_family_spec("random_ring:3-6") == \
+            ("random_ring", [3, 4, 5, 6])
+
+    @pytest.mark.parametrize("text", ["random_ring", "random_ring:",
+                                      ":3-6", "random_ring:a-b",
+                                      "random_ring:6-3"])
+    def test_invalid_specs_rejected(self, text):
+        with pytest.raises(PlanError):
+            parse_family_spec(text)
+
+
+class TestFingerprints:
+    def test_stable_across_processes(self):
+        first = SweepPlan(names=["handshake"]).tasks()[0]
+        second = SweepPlan(names=["handshake"]).tasks()[0]
+        assert first.fingerprint == second.fingerprint
+
+    def test_sensitive_to_content_and_engine_config(self):
+        base = SweepPlan(names=["handshake"]).tasks()[0]
+        changed_text = SweepPlan(names=["vme_read"]).tasks()[0]
+        explicit = SweepPlan(names=["handshake"],
+                             engine="explicit").tasks()[0]
+        ordering = SweepPlan(names=["handshake"],
+                             ordering="declaration").tasks()[0]
+        fingerprints = {base.fingerprint, changed_text.fingerprint,
+                        explicit.fingerprint, ordering.fingerprint}
+        assert len(fingerprints) == 4
+
+    def test_execution_knobs_do_not_invalidate(self):
+        base = SweepPlan(names=["handshake"]).tasks()[0]
+        with_timeout = SweepPlan(names=["handshake"],
+                                 timeout=5.0).tasks()[0]
+        assert base.fingerprint == with_timeout.fingerprint

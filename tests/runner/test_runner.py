@@ -1,0 +1,174 @@
+"""End-to-end tests of the sweep runner.
+
+The three contracts the ISSUE pins:
+
+* shard partitions are disjoint and cover the corpus (test_plan.py),
+* ``--jobs 1`` and ``--jobs 4`` produce identical verdict results,
+* a poisoned entry is reported as ``error`` without killing the sweep.
+
+Plus the cache lifecycle: a second run against a populated store serves
+every unchanged entry as ``cached`` and a content change invalidates
+exactly the affected entry.
+"""
+
+import json
+
+import pytest
+
+from repro.runner import (
+    RunStore,
+    SweepPlan,
+    SweepRunner,
+    SweepTask,
+    run_sweep,
+)
+
+#: A small but representative slice of the corpus (positive, negative,
+#: arbitration, random entries) -- keeps the parallel tests fast.
+SELECTION = ["handshake", "vme_read", "mutex_element", "inconsistent",
+             "irreducible_csc", "random_ring_n4_s1", "random_parallel_r2_s3"]
+
+
+def stable_json(sweep):
+    return json.dumps(sweep.stable_json_dict(), sort_keys=True)
+
+
+class TestSweepExecution:
+    def test_sequential_sweep_matches_registry(self):
+        sweep = run_sweep(SweepPlan(names=SELECTION))
+        assert len(sweep) == len(SELECTION)
+        assert sweep.matching == len(SELECTION)
+        assert sweep.succeeded
+
+    def test_results_preserve_plan_order(self):
+        sweep = run_sweep(SweepPlan(names=SELECTION, jobs=3))
+        assert [result.name for result in sweep] == SELECTION
+
+    @pytest.mark.smoke
+    def test_jobs1_and_jobs4_are_byte_identical(self):
+        sequential = run_sweep(SweepPlan(names=SELECTION, jobs=1))
+        parallel = run_sweep(SweepPlan(names=SELECTION, jobs=4))
+        assert stable_json(sequential) == stable_json(parallel)
+
+    def test_symbolic_results_carry_traversal_stats(self):
+        sweep = run_sweep(SweepPlan(names=["handshake"]))
+        traversal = sweep.results[0].traversal
+        assert traversal is not None and traversal["num_states"] == 4
+
+    def test_explicit_engine_sweep(self):
+        sweep = run_sweep(SweepPlan(names=["handshake", "choice_controller"],
+                                    engine="explicit"))
+        assert sweep.succeeded
+        assert sweep.results[0].traversal is None
+
+    def test_progress_callback_sees_every_result(self):
+        seen = []
+        SweepRunner(SweepPlan(names=SELECTION, jobs=2),
+                    progress=seen.append).run()
+        assert sorted(result.name for result in seen) == sorted(SELECTION)
+
+
+class PoisonedPlan(SweepPlan):
+    """A plan with an unparseable specification injected mid-sweep."""
+
+    def tasks(self):
+        tasks = super().tasks()
+        tasks.insert(1, SweepTask(name="poisoned",
+                                  g_text=".bogus_directive\n"))
+        return tasks
+
+
+class TestFailureIsolation:
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_poisoned_entry_reported_as_error_sweep_survives(self, jobs):
+        plan = PoisonedPlan(names=["handshake", "vme_read"], jobs=jobs)
+        sweep = SweepRunner(plan).run()
+        by_name = {result.name: result for result in sweep}
+        assert by_name["poisoned"].status == "error"
+        assert "bogus_directive" in by_name["poisoned"].error
+        assert by_name["handshake"].status == "ok"
+        assert by_name["vme_read"].status == "ok"
+        assert not sweep.succeeded
+
+    def test_timeout_terminates_the_worker_not_the_sweep(self):
+        class SlowPlan(SweepPlan):
+            def tasks(self):
+                slow = SweepTask(name="slow", g_text="", delay=30.0,
+                                 timeout=0.2)
+                return [slow] + super().tasks()
+
+        sweep = SweepRunner(SlowPlan(names=["handshake"], jobs=2)).run()
+        by_name = {result.name: result for result in sweep}
+        assert by_name["slow"].status == "timeout"
+        assert by_name["handshake"].status == "ok"
+
+
+class TestResultCache:
+    def test_second_run_serves_everything_from_cache(self, tmp_path):
+        plan = SweepPlan(names=SELECTION)
+        first = run_sweep(plan, cache_dir=str(tmp_path))
+        second = run_sweep(plan, cache_dir=str(tmp_path))
+        assert first.cached == 0
+        assert second.cached == len(SELECTION)
+        assert all(result.cached for result in second)
+        # Cache hits change provenance, never verdicts.
+        assert stable_json(first) == stable_json(second)
+
+    def test_content_change_invalidates_only_the_affected_entry(
+            self, tmp_path):
+        class EditedPlan(SweepPlan):
+            """As if one corpus entry's .g text had been edited."""
+
+            def tasks(self):
+                tasks = super().tasks()
+                victim = tasks[2]
+                tasks[2] = SweepTask(
+                    name=victim.name,
+                    g_text=victim.g_text + "\n",  # content change
+                    engine=victim.engine, ordering=victim.ordering,
+                    arbitration=victim.arbitration,
+                    expected=victim.expected)
+                return tasks
+
+        run_sweep(SweepPlan(names=SELECTION), cache_dir=str(tmp_path))
+        edited = SweepRunner(EditedPlan(names=SELECTION),
+                             store=RunStore(str(tmp_path))).run()
+        recomputed = [result.name for result in edited if not result.cached]
+        assert recomputed == [SELECTION[2]]
+
+    def test_engine_switch_invalidates_everything(self, tmp_path):
+        names = ["handshake", "vme_read"]
+        run_sweep(SweepPlan(names=names), cache_dir=str(tmp_path))
+        explicit = run_sweep(SweepPlan(names=names, engine="explicit"),
+                             cache_dir=str(tmp_path))
+        assert explicit.cached == 0
+        # Both configs now coexist in the store: alternating engines
+        # keeps hitting the cache instead of evicting each other.
+        symbolic_again = run_sweep(SweepPlan(names=names),
+                                   cache_dir=str(tmp_path))
+        explicit_again = run_sweep(SweepPlan(names=names, engine="explicit"),
+                                   cache_dir=str(tmp_path))
+        assert symbolic_again.cached == 2
+        assert explicit_again.cached == 2
+
+    def test_error_results_are_retried_not_cached(self, tmp_path):
+        plan = PoisonedPlan(names=["handshake"])
+        store = RunStore(str(tmp_path))
+        SweepRunner(plan, store=store).run()
+        second = SweepRunner(plan, store=RunStore(str(tmp_path))).run()
+        by_name = {result.name: result for result in second}
+        assert by_name["handshake"].cached
+        assert not by_name["poisoned"].cached  # recomputed, still an error
+        assert by_name["poisoned"].status == "error"
+
+
+class TestFamilySweeps:
+    @pytest.mark.smoke
+    def test_family_scale_range_sweep(self):
+        plan = SweepPlan(names=["handshake"],
+                         families=[("random_ring", range(1, 9))], jobs=2)
+        sweep = SweepRunner(plan).run()
+        assert len(sweep) == 9
+        assert sweep.succeeded
+        names = [result.name for result in sweep]
+        assert names[1] == "random_ring@1" and names[-1] == "random_ring@8"

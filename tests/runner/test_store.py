@@ -1,0 +1,118 @@
+"""Tests of the persistent JSONL result cache."""
+
+import json
+import os
+
+from repro.runner import EntryResult, RunStore
+from repro.runner.store import RESULTS_FILE
+
+
+def make_result(name="handshake", status="ok", fingerprint="f" * 64,
+                **overrides):
+    data = dict(name=name, status=status, engine="symbolic",
+                fingerprint=fingerprint,
+                report={"stg_name": name, "method": "symbolic"},
+                mismatches=[], duration=0.01)
+    data.update(overrides)
+    return EntryResult(**data)
+
+
+class TestRoundtrip:
+    def test_put_then_lookup(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        store.put(make_result())
+        hit = store.lookup("handshake", "f" * 64)
+        assert hit is not None
+        assert hit.status == "ok"
+        assert hit.cached  # served results are marked as cache hits
+        assert hit.report["stg_name"] == "handshake"
+
+    def test_persists_across_instances(self, tmp_path):
+        RunStore(str(tmp_path)).put(make_result())
+        reopened = RunStore(str(tmp_path))
+        assert len(reopened) == 1
+        assert reopened.lookup("handshake", "f" * 64) is not None
+
+    def test_cached_results_are_not_rewritten(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        store.put(make_result())
+        hit = store.lookup("handshake", "f" * 64)
+        store.put(hit)  # a no-op: the original computation is on disk
+        path = os.path.join(str(tmp_path), RESULTS_FILE)
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 1
+        # ... and what is on disk is never marked cached.
+        assert json.loads(lines[0])["cached"] is False
+
+
+class TestInvalidation:
+    def test_fingerprint_mismatch_is_a_miss(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        store.put(make_result(fingerprint="a" * 64))
+        assert store.lookup("handshake", "b" * 64) is None
+
+    def test_unknown_name_is_a_miss(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        assert store.lookup("handshake", "f" * 64) is None
+
+    def test_errors_and_timeouts_are_never_served(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        store.put(make_result(name="bad", status="error", report=None,
+                              error="boom"))
+        store.put(make_result(name="slow", status="timeout", report=None,
+                              error="timed out"))
+        assert store.lookup("bad", "f" * 64) is None
+        assert store.lookup("slow", "f" * 64) is None
+
+    def test_mismatches_are_served(self, tmp_path):
+        # A mismatch is a complete, reproducible verdict -- recomputing
+        # it would produce the same answer.
+        store = RunStore(str(tmp_path))
+        store.put(make_result(status="mismatch",
+                              mismatches=["csc: expected True"]))
+        hit = store.lookup("handshake", "f" * 64)
+        assert hit is not None and hit.status == "mismatch"
+
+    def test_configs_coexist_per_fingerprint(self, tmp_path):
+        # Two engine configs (or two content versions) of the same entry
+        # share the store without evicting each other: the index key is
+        # (name, fingerprint), so alternating sweeps keep hitting.
+        store = RunStore(str(tmp_path))
+        store.put(make_result(fingerprint="a" * 64))
+        store.put(make_result(fingerprint="b" * 64))
+        assert store.lookup("handshake", "a" * 64) is not None
+        assert store.lookup("handshake", "b" * 64) is not None
+        assert store.lookup("handshake", "c" * 64) is None
+
+
+class TestRobustness:
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        store.put(make_result())
+        path = os.path.join(str(tmp_path), RESULTS_FILE)
+        with open(path, "a") as handle:
+            handle.write("{not json\n")
+            handle.write('{"json but": "not a result"}\n')
+        reopened = RunStore(str(tmp_path))
+        assert len(reopened) == 1
+        assert reopened.lookup("handshake", "f" * 64) is not None
+
+    def test_compact_drops_duplicate_and_corrupt_records(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        store.put(make_result(fingerprint="a" * 64, duration=0.1))
+        store.put(make_result(fingerprint="b" * 64))
+        path = os.path.join(str(tmp_path), RESULTS_FILE)
+        with open(path, "a") as handle:
+            handle.write("garbage\n")
+        # Re-record the same (name, fingerprint) key: latest wins.
+        rewritten = RunStore(str(tmp_path))
+        rewritten.put(make_result(fingerprint="a" * 64, duration=0.2))
+        rewritten.compact()
+        with open(path) as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        assert len(records) == 2
+        by_fingerprint = {record["fingerprint"]: record
+                          for record in records}
+        assert by_fingerprint["a" * 64]["duration"] == 0.2
+        assert "b" * 64 in by_fingerprint

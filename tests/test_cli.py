@@ -1,5 +1,7 @@
 """Tests for the stg-check command-line interface."""
 
+import json
+
 import pytest
 
 from repro import corpus
@@ -125,9 +127,129 @@ class TestBatchCheck:
             main(["batch-check", "no_such_entry"])
         assert "available" in capsys.readouterr().err
 
+    def test_unknown_entry_exits_2_with_did_you_mean(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch-check", "mutx_element"])
+        assert excinfo.value.code == 2
+        error = capsys.readouterr().err
+        assert "did you mean" in error
+        assert "mutex_element" in error
+
+    def test_list_mode_prints_expected_metadata(self, capsys):
+        assert main(["batch-check", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "expected:" in output
+        assert "classification=gate-implementable" in output
+        assert "[table1]" in output and "[random]" in output
+
     def test_write_dir_materialises_files(self, tmp_path, capsys):
         assert main(["batch-check", "handshake",
                      "--write-dir", str(tmp_path)]) == 0
         path = tmp_path / "handshake.g"
         assert path.exists()
         assert path.read_text() == corpus.g_text("handshake")
+
+
+class TestBatchCheckRunnerFlags:
+    """The runner-backed flags: --jobs, --shard, --cache-dir, --json."""
+
+    SELECTION = ["handshake", "vme_read", "mutex_element", "inconsistent"]
+
+    @pytest.mark.smoke
+    def test_parallel_sweep_matches_sequential_output(self, capsys):
+        assert main(["batch-check", *self.SELECTION]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["batch-check", *self.SELECTION, "--jobs", "3"]) == 0
+        parallel = capsys.readouterr().out
+        strip = (lambda text: "\n".join(
+            line for line in text.splitlines()
+            if not line.startswith("batch-check:")))
+        assert strip(sequential) == strip(parallel)
+        assert "jobs: 3" in parallel
+
+    def test_shard_selects_a_strict_subset(self, capsys):
+        assert main(["batch-check", "--shard", "0/8"]) == 0
+        output = capsys.readouterr().out
+        shard_size = len(corpus.names()) // 8 + \
+            (1 if len(corpus.names()) % 8 else 0)
+        assert f"{shard_size} entries" in output
+        assert "shard: 0/8" in output
+
+    def test_invalid_shard_spec_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch-check", "--shard", "eight"])
+        assert excinfo.value.code == 2
+
+    def test_cache_roundtrip_reports_cached_entries(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["batch-check", "handshake", "vme_read",
+                     "--cache-dir", cache]) == 0
+        assert "0 cached" in capsys.readouterr().out
+        assert main(["batch-check", "handshake", "vme_read",
+                     "--cache-dir", cache]) == 0
+        second = capsys.readouterr().out
+        assert "2 cached" in second
+        assert "[cached]" in second
+
+    def test_no_cache_bypasses_the_store(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["batch-check", "handshake",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["batch-check", "handshake", "--cache-dir", cache,
+                     "--no-cache"]) == 0
+        assert "0 cached" in capsys.readouterr().out
+
+    def test_json_report_to_file(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main(["batch-check", "handshake", "vme_read",
+                     "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["total"] == 2
+        assert payload["mismatching"] == 0
+        names = [entry["name"] for entry in payload["entries"]]
+        assert names == ["handshake", "vme_read"]
+        assert payload["entries"][0]["report"]["num_states"] == 4
+
+    def test_json_report_to_stdout(self, capsys):
+        assert main(["batch-check", "handshake", "--json", "-"]) == 0
+        output = capsys.readouterr().out
+        start = output.index("{")
+        payload = json.loads(output[start:])
+        assert payload["entries"][0]["status"] == "ok"
+
+    @pytest.mark.smoke
+    def test_family_scale_range(self, capsys):
+        assert main(["batch-check", "handshake",
+                     "--family", "random_ring:1-4", "--jobs", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "random_ring@1" in output and "random_ring@4" in output
+        assert "5 entries" in output
+
+    def test_invalid_family_spec_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch-check", "--family", "random_ring"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_family_name_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch-check", "--family", "no_such_family:1-3"])
+        assert excinfo.value.code == 2
+        assert "no_such_family" in capsys.readouterr().err
+
+    def test_out_of_range_family_scale_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch-check", "--family", "muller_pipeline:0"])
+        assert excinfo.value.code == 2
+        assert "rejected scale 0" in capsys.readouterr().err
+
+    def test_write_dir_is_shard_and_family_aware(self, tmp_path, capsys):
+        assert main(["batch-check", "handshake", "vme_read",
+                     "--family", "random_ring:1-2",
+                     "--shard", "0/2",
+                     "--write-dir", str(tmp_path)]) == 0
+        # Shard 0/2 of [handshake, vme_read, @1, @2] = positions 0 and 2.
+        written = sorted(path.name for path in tmp_path.iterdir())
+        assert written == ["handshake.g", "random_ring@1.g"]
+        assert (tmp_path / "handshake.g").read_text() == \
+            corpus.g_text("handshake")
