@@ -1,13 +1,17 @@
-# Developer entry points. `make check` is the gate: the full unit and
-# integration suite plus a real sharded parallel sweep, so the runner
+# Developer entry points. `make check` is the gate: lint, the full unit
+# and integration suite (including the cross-engine API-parity tests
+# under tests/api/), plus a real sharded parallel sweep, so the runner
 # path is exercised outside its unit tests on every run.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test smoke bench
+.PHONY: check lint test smoke bench
 
-check: test smoke
+check: lint test smoke
+
+lint:
+	$(PYTHON) tools/lint.py src tests tools
 
 test:
 	$(PYTHON) -m pytest -q

@@ -5,6 +5,16 @@ Yakovlev -- ED&TC 1995).
 Public entry points
 -------------------
 
+* :mod:`repro.api` -- **the public verification surface**: the
+  :func:`~repro.api.facade.verify` facade, the typed
+  :class:`~repro.api.config.EngineConfig` and the pluggable property-check
+  registry.
+* :mod:`repro.engines` -- the engine protocol and registry; new backends
+  plug in with ``engines.register(name, engine)``.
+* :mod:`repro.corpus` -- the benchmark corpus: named ``.g`` specifications
+  with expected-verdict metadata.
+* :mod:`repro.runner` -- the parallel, sharded, cached sweep runner behind
+  the ``batch-check`` CLI mode.
 * :mod:`repro.bdd` -- the ROBDD engine used as symbolic substrate.
 * :mod:`repro.petri` -- Petri nets, markings, explicit reachability.
 * :mod:`repro.stg` -- Signal Transition Graphs, the ``.g`` file format and
@@ -13,21 +23,41 @@ Public entry points
   checks; the enumeration baseline and testing oracle.
 * :mod:`repro.core` -- the paper's contribution: symbolic traversal and
   symbolic implementability checks (consistency, persistency, CSC,
-  CSC-reducibility, fake conflicts) plus the
-  :class:`~repro.core.checker.ImplementabilityChecker` facade.
+  CSC-reducibility, fake conflicts).
 * :mod:`repro.synthesis` -- derivation of next-state (complex-gate) logic
   for specifications that satisfy CSC.
 
 A typical use::
 
+    from repro import EngineConfig, verify
     from repro.stg.generators import muller_pipeline
-    from repro.core import ImplementabilityChecker
 
-    stg = muller_pipeline(8)
-    report = ImplementabilityChecker(stg).check()
+    report = verify(muller_pipeline(8))
     print(report.summary())
+
+    report = verify(muller_pipeline(8), EngineConfig(engine="explicit"))
+    report = verify(muller_pipeline(8), checks=("csc", "persistency"))
 """
 
 from repro._version import __version__
+from repro.api import (
+    ApiError,
+    EngineConfig,
+    available_checks,
+    register_check,
+    run,
+    verify,
+)
+from repro.report import ImplementabilityClass, ImplementabilityReport
 
-__all__ = ["__version__"]
+__all__ = [
+    "ApiError",
+    "EngineConfig",
+    "ImplementabilityClass",
+    "ImplementabilityReport",
+    "__version__",
+    "available_checks",
+    "register_check",
+    "run",
+    "verify",
+]

@@ -1,0 +1,65 @@
+"""`repro.api` -- the public verification surface.
+
+One stable, typed entry point for every consumer of the verification
+pipeline (CLI, sweep runner, corpus batch-check, synthesis, external
+tooling)::
+
+    from repro.api import EngineConfig, verify
+
+    report = verify(stg)                                    # defaults
+    report = verify(stg, EngineConfig(engine="explicit",
+                                      arbitration_places=("p_me",)))
+    report = verify(stg, checks=("csc", "persistency"))     # a subset
+
+The moving parts:
+
+* :class:`EngineConfig` -- the one frozen, serialisable engine
+  configuration (replaces per-engine constructor kwargs); its
+  :meth:`~EngineConfig.to_dict` form is what workers receive, what cache
+  fingerprints hash and what ``--json`` reports embed.
+* :mod:`repro.engines` -- the engine protocol and registry; new backends
+  plug in with ``engines.register(name, engine)`` and are immediately
+  usable from the CLI and the sweep runner.
+* the **check registry** (:mod:`repro.api.checks`) -- every property
+  check is named and selectable; custom checks plug in via
+  :func:`register_check`.
+* :func:`verify` / :func:`run` -- the facade: validation (unknown
+  engines/checks/arbitration places raise :class:`ApiError` with
+  did-you-mean suggestions), dispatch, and -- via :func:`run` -- access
+  to the engine intermediates for synthesis and liveness extras.
+"""
+
+from repro.api.checks import (
+    ALL,
+    CheckSpec,
+    available_checks,
+    default_checks,
+    register_check,
+    resolve_checks,
+    supported_checks,
+    unregister_check,
+)
+from repro.api.config import TRAVERSAL_STRATEGIES, EngineConfig
+from repro.api.errors import ApiError, UnknownCheckError, UnknownEngineError
+from repro.api.facade import run, validate_arbitration_places, verify
+from repro.engines import EngineRun
+
+__all__ = [
+    "ALL",
+    "ApiError",
+    "CheckSpec",
+    "EngineConfig",
+    "EngineRun",
+    "TRAVERSAL_STRATEGIES",
+    "UnknownCheckError",
+    "UnknownEngineError",
+    "available_checks",
+    "default_checks",
+    "register_check",
+    "resolve_checks",
+    "run",
+    "supported_checks",
+    "unregister_check",
+    "validate_arbitration_places",
+    "verify",
+]

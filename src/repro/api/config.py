@@ -1,0 +1,153 @@
+"""The one typed engine configuration of the verification facade.
+
+:class:`EngineConfig` replaces the kwargs soup that used to be threaded
+through the CLI, :class:`~repro.runner.plan.SweepPlan` and the worker
+processes as a bare engine string plus ad-hoc keyword arguments.  It is
+
+* **frozen and hashable** -- safe as a dict key and safe to share,
+* **normalised** -- arbitration places and initial-value overrides are
+  stored as sorted tuples, so two configs that mean the same thing
+  compare (and serialise) identically,
+* **validated at construction** -- unknown engines, ordering strategies
+  and traversal strategies raise :class:`~repro.api.errors.ApiError`
+  immediately instead of failing deep inside a sweep,
+* **serialisable** -- :meth:`to_dict` / :meth:`from_dict` round-trip
+  losslessly.  The dict form is what the sweep runner pickles to worker
+  processes, what `RunStore` fingerprints cache records with, and what
+  ``--json`` reports embed.
+
+Every field applies to at least one engine; fields an engine does not
+use (e.g. ``ordering`` on the explicit engine) are carried but ignored,
+so one config can drive any registered engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.api.errors import ApiError
+
+#: Valid symbolic traversal strategies (Figure 5 chained vs frontier).
+TRAVERSAL_STRATEGIES = ("chained", "frontier")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Complete, serialisable configuration of one verification run.
+
+    Parameters
+    ----------
+    engine:
+        Name of a registered engine (see :func:`repro.engines.available`).
+    ordering:
+        BDD variable-ordering strategy (symbolic engine).
+    traversal_strategy:
+        ``"chained"`` (Figure 5) or ``"frontier"`` (symbolic engine).
+    max_states:
+        Enumeration budget of the explicit engine.
+    initial_values:
+        Optional completion/override of the initial signal values,
+        honoured by **both** engines; given as a mapping, stored as a
+        sorted tuple of ``(signal, value)`` pairs.
+    arbitration_places:
+        Places whose output/output conflicts model arbitration; validated
+        against the specification's actual places by the facade.
+    timeout:
+        Per-entry wall-clock budget in seconds (an execution knob: it is
+        excluded from cache fingerprints).
+    commutativity_fallback_states:
+        State bound under which the symbolic engine falls back to the
+        explicit commutativity check when fake conflicts are present.
+    """
+
+    engine: str = "symbolic"
+    ordering: str = "force"
+    traversal_strategy: str = "chained"
+    max_states: int = 1_000_000
+    initial_values: Optional[Tuple[Tuple[str, bool], ...]] = None
+    arbitration_places: Tuple[str, ...] = ()
+    timeout: Optional[float] = None
+    commutativity_fallback_states: int = 10_000
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "arbitration_places",
+                           tuple(sorted(self.arbitration_places)))
+        if self.initial_values is not None:
+            items = (self.initial_values.items()
+                     if isinstance(self.initial_values, Mapping)
+                     else self.initial_values)
+            object.__setattr__(self, "initial_values", tuple(sorted(
+                (str(signal), bool(value)) for signal, value in items)))
+        self._validate()
+
+    def _validate(self) -> None:
+        from repro import engines
+        from repro.core.encoding import ORDERING_STRATEGIES
+
+        engines.get(self.engine)  # raises UnknownEngineError
+        if self.ordering not in ORDERING_STRATEGIES:
+            raise ApiError(
+                f"unknown ordering strategy {self.ordering!r}; available: "
+                f"{', '.join(ORDERING_STRATEGIES)}")
+        if self.traversal_strategy not in TRAVERSAL_STRATEGIES:
+            raise ApiError(
+                f"unknown traversal strategy {self.traversal_strategy!r}; "
+                f"available: {', '.join(TRAVERSAL_STRATEGIES)}")
+        if self.max_states < 1:
+            raise ApiError(f"max_states must be >= 1, "
+                           f"got {self.max_states}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ApiError(f"timeout must be positive, got {self.timeout}")
+
+    # ------------------------------------------------------------------
+    # Convenience views
+    # ------------------------------------------------------------------
+    @property
+    def initial_values_dict(self) -> Optional[Dict[str, bool]]:
+        """The initial-value overrides as a plain dict (or ``None``)."""
+        if self.initial_values is None:
+            return None
+        return dict(self.initial_values)
+
+    def with_overrides(self, **changes: object) -> "EngineConfig":
+        """A copy with the given fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # The one serialised schema (workers, cache fingerprints, --json)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless, JSON-serialisable form.
+
+        ``from_dict(to_dict(config)) == config`` holds exactly.  Sweep
+        cache fingerprints are computed from this dict (minus the
+        execution-knob ``timeout``), so any semantic config change -- and
+        nothing else -- invalidates cached results.
+        """
+        return {
+            "engine": self.engine,
+            "ordering": self.ordering,
+            "traversal_strategy": self.traversal_strategy,
+            "max_states": self.max_states,
+            "initial_values": self.initial_values_dict,
+            "arbitration_places": list(self.arbitration_places),
+            "timeout": self.timeout,
+            "commutativity_fallback_states":
+                self.commutativity_fallback_states,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "EngineConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are ignored and missing keys fall back to the field
+        defaults, so configs serialised by older versions keep loading.
+        """
+        known = {spec.name for spec in fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in known}
+        if kwargs.get("initial_values") is not None:
+            kwargs["initial_values"] = dict(kwargs["initial_values"])
+        kwargs["arbitration_places"] = tuple(
+            kwargs.get("arbitration_places") or ())
+        return cls(**kwargs)

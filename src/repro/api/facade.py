@@ -1,0 +1,80 @@
+"""The single public verification entry point.
+
+Every consumer -- the CLI, the sweep runner, the corpus batch-check,
+synthesis drivers, external tooling -- verifies through this facade::
+
+    from repro.api import EngineConfig, verify
+
+    report = verify(stg)                                   # defaults
+    report = verify(stg, EngineConfig(engine="explicit"))
+    report = verify(stg, checks=("csc", "persistency"))    # a subset
+
+:func:`verify` returns the :class:`~repro.report.ImplementabilityReport`;
+:func:`run` additionally returns the engine intermediates (traversal
+statistics, the symbolic pipeline) for consumers that keep working after
+the check.  Engine choice, check selection and arbitration places are all
+validated here, so a bad request fails fast with a clear
+:class:`~repro.api.errors.ApiError` instead of silently misbehaving deep
+inside an engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.api.config import EngineConfig
+from repro.api.errors import ApiError, suggest
+from repro.engines import EngineRun
+from repro.report import ImplementabilityReport
+from repro.stg.stg import STG
+
+
+def validate_arbitration_places(stg: STG,
+                                places: Iterable[str]) -> None:
+    """Reject arbitration places that do not exist on the specification.
+
+    Both engines used to treat an unknown arbitration place as a silent
+    no-op -- the persistency check simply never matched it, quietly
+    turning real violations into accepted "arbitration".  Unknown places
+    are now a hard :class:`ApiError` naming the close matches.
+    """
+    known = set(stg.places)
+    unknown = [place for place in places if place not in known]
+    if unknown:
+        shown = ", ".join(repr(place) for place in unknown)
+        raise ApiError(
+            f"unknown arbitration place(s) {shown} on STG {stg.name!r}"
+            f"{suggest(unknown[0], known)}")
+
+
+def run(stg: STG, config: Optional[EngineConfig] = None,
+        checks: Union[None, str, Iterable[str]] = None) -> EngineRun:
+    """Verify ``stg`` and return the full :class:`EngineRun` outcome.
+
+    ``config`` defaults to ``EngineConfig()`` (symbolic engine, force
+    ordering).  ``checks`` selects the property checks to run: ``None``
+    for the engine's default set, :data:`repro.api.checks.ALL` for every
+    supported check, or an iterable / comma-separated string of check
+    names (see :func:`repro.api.checks.available_checks`).
+    """
+    from repro import engines
+    from repro.api.checks import resolve_checks
+
+    if config is None:
+        config = EngineConfig()
+    validate_arbitration_places(stg, config.arbitration_places)
+    engine = engines.get(config.engine)
+    selected = resolve_checks(checks, engine=config.engine,
+                              supported=engine.checks)
+    return engine.run(stg, config, selected)
+
+
+def verify(stg: STG, config: Optional[EngineConfig] = None,
+           checks: Union[None, str, Iterable[str]] = None
+           ) -> ImplementabilityReport:
+    """Verify ``stg`` and return the :class:`ImplementabilityReport`.
+
+    The facade every consumer should call; see :func:`run` for the
+    parameters and for access to the engine intermediates.
+    """
+    return run(stg, config, checks=checks).report

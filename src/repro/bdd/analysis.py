@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.bdd.function import Function
-from repro.bdd.manager import BDDManager, FALSE_ID, TRUE_ID
+from repro.bdd.manager import FALSE_ID, TRUE_ID
 
 
 def support(f: Function) -> List[str]:

@@ -1,13 +1,16 @@
 """Command-line interface: ``stg-check`` (also ``python -m repro``).
 
 Check the implementability of an STG given as a ``.g`` file or as one of
-the built-in examples, using either the symbolic (default) or the explicit
-engine::
+the built-in examples.  All verification flows through the public
+:mod:`repro.api` facade -- the CLI holds no engine knowledge, so engines
+registered via :func:`repro.engines.register` are immediately usable::
 
     stg-check handshake
     stg-check muller_pipeline --scale 8
     stg-check path/to/spec.g --explicit
+    stg-check vme_read --engine explicit
     stg-check mutex_element --arbitration p_me
+    stg-check handshake --checks csc,persistency
 
 The ``batch-check`` mode sweeps the benchmark corpus (:mod:`repro.corpus`)
 through the sweep runner (:mod:`repro.runner`) and validates every
@@ -17,6 +20,7 @@ per-property verdict against the registry's expected metadata::
     stg-check batch-check vme_read mutex_element
     stg-check batch-check --engine explicit
     stg-check batch-check --list
+    stg-check batch-check --list --json - # machine-readable listing
     stg-check batch-check --jobs 4 --cache-dir .repro-cache
     stg-check batch-check --shard 0/8 --jobs 2
     stg-check batch-check --family random_ring:1-100 --json report.json
@@ -31,11 +35,9 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.core.checker import ImplementabilityChecker
+from repro import api
 from repro.core.encoding import ORDERING_STRATEGIES
-from repro.core.pipeline import VerificationPipeline
 from repro.sg.builder import infer_initial_values
-from repro.sg.checker import ExplicitChecker
 from repro.stg.generators import FIXED_EXAMPLES, SCALABLE_FAMILIES, build_example
 from repro.stg.parser import read_g_file
 from repro.stg.validate import validate_structure
@@ -54,15 +56,22 @@ def build_argument_parser() -> argparse.ArgumentParser:
              "'batch-check' mode sweeping the benchmark corpus")
     parser.add_argument("--scale", type=int, default=None,
                         help="scale parameter for scalable families")
+    parser.add_argument("--engine", default=None, metavar="NAME",
+                        help="verification engine (any registered engine; "
+                             "default: symbolic)")
     parser.add_argument("--explicit", action="store_true",
-                        help="use the explicit enumeration engine instead "
-                             "of the symbolic one")
+                        help="shorthand for --engine explicit")
     parser.add_argument("--ordering", choices=list(ORDERING_STRATEGIES),
                         default="force",
                         help="BDD variable ordering strategy (symbolic only)")
+    parser.add_argument("--checks", default=None, metavar="NAMES",
+                        help="comma-separated subset of property checks to "
+                             f"run ({', '.join(api.available_checks())}); "
+                             "default: the engine's full default set")
     parser.add_argument("--arbitration", nargs="*", default=[],
                         metavar="PLACE",
-                        help="places to treat as arbitration points")
+                        help="places to treat as arbitration points "
+                             "(validated against the STG's actual places)")
     parser.add_argument("--infer-initial-values", action="store_true",
                         help="infer missing initial signal values before "
                              "checking")
@@ -88,10 +97,11 @@ def build_batch_check_parser() -> argparse.ArgumentParser:
                         help="corpus entries to check (default: all)")
     parser.add_argument("--list", action="store_true", dest="list_entries",
                         help="list the corpus entries with their expected-"
-                             "verdict metadata and exit")
-    parser.add_argument("--engine", choices=["symbolic", "explicit"],
-                        default="symbolic",
-                        help="verification engine (default: symbolic)")
+                             "verdict metadata and exit (add --json PATH "
+                             "for a machine-readable listing)")
+    parser.add_argument("--engine", default="symbolic", metavar="NAME",
+                        help="verification engine (any registered engine; "
+                             "default: symbolic)")
     parser.add_argument("--ordering", choices=list(ORDERING_STRATEGIES),
                         default="force",
                         help="BDD variable ordering strategy (symbolic only)")
@@ -121,7 +131,8 @@ def build_batch_check_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="write the full sweep result (same schema as "
                              "the run store) as JSON to PATH, or '-' for "
-                             "stdout")
+                             "stdout; with --list, write the corpus listing "
+                             "instead")
     parser.add_argument("--write-dir", metavar="DIR", default=None,
                         help="additionally materialise the .g files of the "
                              "checked entries under DIR (shard- and "
@@ -169,37 +180,50 @@ def main(argv: Optional[List[str]] = None) -> int:
     if arguments.infer_initial_values or not stg.has_complete_initial_values():
         stg.set_initial_values(infer_initial_values(stg))
 
-    if arguments.explicit:
-        checker = ExplicitChecker(stg,
-                                  arbitration_places=arguments.arbitration)
-    else:
-        checker = ImplementabilityChecker(
-            stg, arbitration_places=arguments.arbitration,
-            ordering=arguments.ordering)
-    report = checker.check()
+    if (arguments.explicit and arguments.engine
+            and arguments.engine != "explicit"):
+        parser.error(f"--explicit conflicts with "
+                     f"--engine {arguments.engine}")
+        return 2
+    engine = arguments.engine or (
+        "explicit" if arguments.explicit else "symbolic")
+    try:
+        config = api.EngineConfig(
+            engine=engine,
+            ordering=arguments.ordering,
+            arbitration_places=tuple(arguments.arbitration))
+        outcome = api.run(stg, config, checks=arguments.checks)
+    except api.ApiError as error:
+        parser.error(str(error))  # exits with status 2
+        return 2
+    report = outcome.report
     print(report.summary())
-    pipeline = getattr(checker, "pipeline", None)
 
     if arguments.liveness or arguments.synthesize:
-        _run_extras(stg, arguments, report, pipeline)
+        _run_extras(stg, arguments, config, report, outcome.pipeline)
+    if arguments.checks is not None:
+        # A subset run has no classification; succeed iff every verdict
+        # that was actually checked holds.
+        return 0 if all(v.holds for v in report.verdicts) else 1
     return 0 if report.io_implementable else 1
 
 
-def _run_extras(stg, arguments, report,
-                pipeline: Optional[VerificationPipeline] = None) -> None:
+def _run_extras(stg, arguments, config: api.EngineConfig,
+                report, pipeline) -> None:
     """Optional liveness analysis and logic derivation (symbolic engine).
 
     When the main check already ran symbolically its pipeline is reused,
-    so the reachable-state BDD is not recomputed; after an explicit-engine
-    run a fresh pipeline (one traversal) is built.
+    so the reachable-state BDD is not recomputed; after a run on another
+    engine a fresh symbolic pipeline (one traversal) is dispatched
+    through the facade with an empty check selection -- the chain builds
+    lazily on first access.
     """
     from repro.synthesis import synthesize_complex_gates
     from repro.synthesis.functions import SynthesisError
 
     if pipeline is None:
-        pipeline = VerificationPipeline(
-            stg, arbitration_places=arguments.arbitration,
-            ordering=arguments.ordering)
+        symbolic = config.with_overrides(engine="symbolic")
+        pipeline = api.run(stg, symbolic, checks=()).pipeline
     if arguments.liveness:
         print(f"  liveness: {pipeline.deadlock_freedom()}; "
               f"{pipeline.reversibility()}")
@@ -238,24 +262,29 @@ def batch_check_main(argv: List[str]) -> int:
     arguments = parser.parse_args(argv)
 
     if arguments.list_entries:
-        _print_corpus_listing()
+        if arguments.json_path:
+            _write_json(_corpus_listing_dict(), arguments.json_path)
+        else:
+            _print_corpus_listing()
         return 0
 
     try:
+        config = api.EngineConfig(
+            engine=arguments.engine,
+            ordering=arguments.ordering,
+            timeout=arguments.timeout)
         selection = [_resolve_entry(name, parser).name
                      for name in (arguments.names or corpus.names())]
         plan = SweepPlan(
             names=selection,
             families=[parse_family_spec(spec)
                       for spec in arguments.families],
-            engine=arguments.engine,
-            ordering=arguments.ordering,
+            config=config,
             jobs=arguments.jobs,
-            shard=ShardSpec.parse(arguments.shard),
-            timeout=arguments.timeout)
+            shard=ShardSpec.parse(arguments.shard))
         plan.tasks()  # expand now: bad family names/scales become usage
-    except PlanError as error:  # errors here, not tracebacks mid-sweep
-        parser.error(str(error))
+    except (PlanError, api.ApiError) as error:
+        parser.error(str(error))  # errors here, not tracebacks mid-sweep
         return 2
 
     if arguments.write_dir:
@@ -278,13 +307,18 @@ def batch_check_main(argv: List[str]) -> int:
           f"shard: {plan.shard}]")
 
     if arguments.json_path:
-        payload = json.dumps(sweep.to_json_dict(), indent=2, sort_keys=True)
-        if arguments.json_path == "-":
-            print(payload)
-        else:
-            with open(arguments.json_path, "w", encoding="utf-8") as handle:
-                handle.write(payload + "\n")
+        _write_json(sweep.to_json_dict(), arguments.json_path)
     return 0 if sweep.succeeded else 1
+
+
+def _write_json(payload: dict, path: str) -> None:
+    """Write a JSON payload to ``path`` (``-`` = stdout)."""
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
 
 
 def _write_swept_tasks(plan, directory: str) -> None:
@@ -314,6 +348,32 @@ def _resolve_entry(name: str, parser: argparse.ArgumentParser):
         close = difflib.get_close_matches(name, corpus.names(), n=3)
         suggestion = f"; did you mean: {', '.join(close)}?" if close else ""
         parser.error(f"{error}{suggestion}")  # exits with status 2
+
+
+def _corpus_listing_dict() -> dict:
+    """The machine-readable ``--list --json`` payload.
+
+    One record per corpus entry (name, source, family/scale provenance,
+    interface sizes, expected verdicts) plus the scalable families a
+    ``--family`` sweep can draw from -- so external tooling reads this
+    instead of scraping the text table.
+    """
+    from repro import corpus
+    from repro.corpus import FAMILIES
+
+    return {
+        "entries": [corpus.entry(name).listing_dict()
+                    for name in corpus.names()],
+        "families": [
+            {"name": family.name,
+             "expected": {key: _json_metadata_value(value)
+                          for key, value in family.expected.items()}}
+            for family in FAMILIES.values()],
+    }
+
+
+def _json_metadata_value(value: object) -> object:
+    return str(value) if not isinstance(value, (bool, int, str)) else value
 
 
 def _print_corpus_listing() -> None:

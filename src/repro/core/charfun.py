@@ -20,7 +20,7 @@ them heavily.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.bdd import Function
 from repro.core.encoding import SymbolicEncoding

@@ -1,21 +1,19 @@
-"""The symbolic implementability checker facade.
+"""The symbolic implementability checker facade (deprecation shim).
 
-Runs the full pipeline of the paper on one STG:
+Historically this class was the public entry point for the paper's
+pipeline (T+C traversal, NI-p persistency, CSC/reducibility).  The public
+surface is now :mod:`repro.api`::
 
-1. **T+C** -- symbolic traversal of the reachable full states (Figure 5)
-   together with the consistency and safeness checks of Section 5.1;
-2. **NI-p** -- non-input (signal) persistency (Figure 6b), transition
-   persistency and the fake-conflict analysis of Section 5.4;
-3. **CSC** -- Complete State Coding via excitation/quiescent regions,
-   determinism, and CSC-reducibility via the frozen-input traversal of
-   Section 5.3.
+    from repro.api import EngineConfig, verify
 
-The heavy lifting lives in
-:class:`~repro.core.pipeline.VerificationPipeline`, which owns the shared
-encoding / image / reachable-BDD chain; this class is the stable facade
-that configures a pipeline and returns the report.  Consumers that need
-the intermediates afterwards (synthesis, liveness extras, witnesses) can
-keep using :attr:`pipeline` without re-running the traversal.
+    report = verify(stg, EngineConfig(ordering="force"))
+
+``ImplementabilityChecker`` is kept as a thin shim over
+:func:`repro.api.run` so existing callers keep working: the constructor
+signature is unchanged and :attr:`pipeline` still exposes the shared
+:class:`~repro.core.pipeline.VerificationPipeline` of the most recent
+:meth:`check` call for consumers that need the intermediates afterwards
+(synthesis, liveness extras, witnesses).
 """
 
 from __future__ import annotations
@@ -35,16 +33,19 @@ class ImplementabilityChecker:
     stg:
         The specification; every signal needs an initial value (see
         :func:`repro.sg.builder.infer_initial_values` when they are not
-        part of the specification).
+        part of the specification, or pass ``initial_values=``).
     arbitration_places:
         Places whose conflicts between non-input signals model arbitration
         and are tolerated by the persistency check (Definition 3.2
-        footnote).
+        footnote).  Validated against the STG's actual places.
     ordering:
         Variable-ordering strategy of
         :class:`~repro.core.encoding.SymbolicEncoding`.
     traversal_strategy:
         ``"chained"`` (Figure 5) or ``"frontier"``.
+    initial_values:
+        Optional completion/override of the initial signal values
+        (honoured identically by both engines).
     commutativity_fallback_states:
         When fake conflicts are present, commutativity can no longer be
         derived from fake-freedom (Section 5.4); if the reachable state
@@ -75,18 +76,23 @@ class ImplementabilityChecker:
         self.pipeline: Optional[VerificationPipeline] = None
 
     def check(self) -> ImplementabilityReport:
-        """Run the three phases and fill an :class:`ImplementabilityReport`.
+        """Run the configured checks via :func:`repro.api.run`.
 
         The configuration attributes are read at call time (they can be
-        adjusted between calls); each call builds a fresh
-        :class:`~repro.core.pipeline.VerificationPipeline`, kept on
-        :attr:`pipeline` for further reuse.
+        adjusted between calls); each call dispatches a fresh engine run
+        whose pipeline is kept on :attr:`pipeline` for further reuse.
         """
-        self.pipeline = VerificationPipeline(
-            self.stg,
-            arbitration_places=self.arbitration_places,
+        from repro import api
+
+        config = api.EngineConfig(
+            engine="symbolic",
             ordering=self.ordering,
             traversal_strategy=self.traversal_strategy,
             initial_values=self.initial_values,
+            arbitration_places=tuple(self.arbitration_places),
             commutativity_fallback_states=self.commutativity_fallback_states)
-        return self.pipeline.run(include_liveness=self.include_liveness)
+        outcome = api.run(
+            self.stg, config,
+            checks=api.ALL if self.include_liveness else None)
+        self.pipeline = outcome.pipeline
+        return outcome.report

@@ -14,8 +14,8 @@ machinery.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.bdd import Function
 from repro.core.charfun import CharacteristicFunctions

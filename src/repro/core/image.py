@@ -16,7 +16,7 @@ All functions operate on characteristic functions over the variables of a
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Iterable, Optional
 
 from repro.bdd import Function
 from repro.core.charfun import CharacteristicFunctions

@@ -113,6 +113,11 @@ class VerificationPipeline:
         self.reached
         return self._traversal_stats
 
+    @property
+    def traversal_ran(self) -> bool:
+        """True once some check has triggered the reachability traversal."""
+        return self._reached is not None
+
     # ------------------------------------------------------------------
     # Property checks (each reuses the chain, each cached)
     # ------------------------------------------------------------------
@@ -192,10 +197,104 @@ class VerificationPipeline:
         return check_commutativity(result.graph, self.stg).commutative
 
     # ------------------------------------------------------------------
+    # Check application (the symbolic side of the repro.api check registry)
+    # ------------------------------------------------------------------
+    def _check_consistency(self, report: ImplementabilityReport) -> None:
+        self.reached  # the traversal itself belongs to this check's phase
+        consistency = self.consistency()
+        report.bounded = True  # safe-semantics traversal always terminates
+        report.consistent = consistency.consistent
+        report.add_verdict("bounded (safe semantics)", True)
+        report.add_verdict("consistent state assignment",
+                           consistency.consistent,
+                           [f"signal {s}" for s in consistency.violating_signals])
+
+    def _check_safeness(self, report: ImplementabilityReport) -> None:
+        safeness = self.safeness()
+        report.safe = safeness.safe
+        report.add_verdict("safeness", safeness.safe,
+                           [str(safeness)] if not safeness.safe else [])
+
+    def _check_persistency(self, report: ImplementabilityReport) -> None:
+        signal_persistency = self.signal_persistency()
+        transition_persistency = self.transition_persistency()
+        report.output_persistent = signal_persistency.persistent
+        report.add_verdict("signal persistency", signal_persistency.persistent,
+                           [str(v) for v in signal_persistency.violations[:5]])
+        report.add_verdict("transition persistency",
+                           transition_persistency.persistent,
+                           [str(v) for v in transition_persistency.violations[:5]])
+
+    def _check_fake_conflicts(self, report: ImplementabilityReport) -> None:
+        conflicts = self.conflicts()
+        report.fake_free = conflicts.fake_free(self.stg)
+        report.add_verdict(
+            "fake-conflict freedom", bool(report.fake_free),
+            [f"symmetric fake conflict ({c.first}, {c.second})"
+             for c in conflicts.symmetric_fake[:3]]
+            + [f"asymmetric fake conflict ({c.first}, {c.second})"
+               for c in conflicts.asymmetric_fake[:3]])
+
+    def _check_csc(self, report: ImplementabilityReport) -> None:
+        csc = self.csc()
+        report.csc = csc.csc
+        report.usc = csc.usc
+        report.add_verdict("complete state coding (CSC)", csc.csc,
+                           [f"signal {s}" for s in csc.violating_signals])
+        report.add_verdict("unique state coding (USC)", csc.usc)
+
+    def _check_reducibility(self, report: ImplementabilityReport) -> None:
+        determinism = self.determinism()
+        complementary = self.complementary_inputs()
+        report.deterministic = determinism.deterministic
+        report.complementary_free = complementary.free
+        report.commutative = self.commutativity()
+        report.add_verdict("determinism", determinism.deterministic,
+                           [f"{a} / {b}" for a, b in determinism.violating_pairs])
+        report.add_verdict(
+            "CSC-reducibility", bool(report.csc_reducible),
+            [f"mutually complementary input sequences for "
+             f"{', '.join(complementary.offending_signals)}"]
+            if complementary.offending_signals else [])
+
+    def _check_liveness(self, report: ImplementabilityReport) -> None:
+        deadlocks = self.deadlock_freedom()
+        reversibility = self.reversibility()
+        report.deadlock_free = deadlocks.deadlock_free
+        report.reversible = reversibility.reversible
+        report.add_verdict("deadlock freedom", deadlocks.deadlock_free,
+                           [str(deadlocks)] if not deadlocks.deadlock_free
+                           else [])
+        report.add_verdict("reversibility", reversibility.reversible,
+                           [str(reversibility)]
+                           if not reversibility.reversible else [])
+
+    # ------------------------------------------------------------------
     # Full report
     # ------------------------------------------------------------------
-    def run(self, include_liveness: bool = False) -> ImplementabilityReport:
-        """Run the three phases (plus optional liveness) and build a report."""
+    def run(self, include_liveness: bool = False,
+            checks=None) -> ImplementabilityReport:
+        """Run the selected property checks and build a report.
+
+        ``checks`` is a selection understood by
+        :func:`repro.api.checks.resolve_checks` (``None`` = the default
+        set); ``include_liveness=True`` is the pre-facade spelling that
+        appends the liveness extras to the default set.  Checks run
+        grouped by their registry phase (``T+C``, ``NI-p``, ``CSC``,
+        ``live``), sharing this pipeline's lazily computed chain, so
+        phase timings measure only work not triggered earlier.
+        """
+        from repro.api.checks import (
+            CHECKS,
+            apply_check,
+            group_by_phase,
+            resolve_checks,
+        )
+
+        selected = resolve_checks(checks, engine="symbolic")
+        if include_liveness and "liveness" not in selected:
+            selected.append("liveness")
+
         stg = self.stg
         stats = stg.statistics()
         report = ImplementabilityReport(
@@ -205,80 +304,16 @@ class VerificationPipeline:
             num_signals=stats["signals"])
         timer = PhaseTimer()
 
-        # Phase 1: traversal + consistency (+ safeness).
-        with timer.phase("T+C"):
-            self.reached
-            consistency = self.consistency()
-            safeness = self.safeness()
-        traversal_stats = self.traversal_stats
-        report.num_states = traversal_stats.num_states
-        report.bdd_peak_nodes = traversal_stats.peak_nodes
-        report.bdd_final_nodes = traversal_stats.final_nodes
-        report.bdd_variables = traversal_stats.num_variables
-        report.bounded = True  # safe-semantics traversal always terminates
-        report.safe = safeness.safe
-        report.consistent = consistency.consistent
-        report.add_verdict("bounded (safe semantics)", True)
-        report.add_verdict("safeness", safeness.safe,
-                           [str(safeness)] if not safeness.safe else [])
-        report.add_verdict("consistent state assignment",
-                           consistency.consistent,
-                           [f"signal {s}" for s in consistency.violating_signals])
+        for phase, names in group_by_phase(selected):
+            with timer.phase(phase):
+                for name in names:
+                    apply_check(self, CHECKS[name], report, "symbolic")
 
-        # Phase 2: persistency and fake conflicts.
-        with timer.phase("NI-p"):
-            signal_persistency = self.signal_persistency()
-            transition_persistency = self.transition_persistency()
-            conflicts = self.conflicts()
-        report.output_persistent = signal_persistency.persistent
-        report.fake_free = conflicts.fake_free(stg)
-        report.add_verdict("signal persistency", signal_persistency.persistent,
-                           [str(v) for v in signal_persistency.violations[:5]])
-        report.add_verdict("transition persistency",
-                           transition_persistency.persistent,
-                           [str(v) for v in transition_persistency.violations[:5]])
-        report.add_verdict(
-            "fake-conflict freedom", bool(report.fake_free),
-            [f"symmetric fake conflict ({c.first}, {c.second})"
-             for c in conflicts.symmetric_fake[:3]]
-            + [f"asymmetric fake conflict ({c.first}, {c.second})"
-               for c in conflicts.asymmetric_fake[:3]])
-
-        # Phase 3: CSC, determinism, CSC-reducibility.
-        with timer.phase("CSC"):
-            csc = self.csc()
-            determinism = self.determinism()
-            complementary = self.complementary_inputs()
-            commutative = self.commutativity()
-        report.csc = csc.csc
-        report.usc = csc.usc
-        report.deterministic = determinism.deterministic
-        report.complementary_free = complementary.free
-        report.commutative = commutative
-        report.add_verdict("complete state coding (CSC)", csc.csc,
-                           [f"signal {s}" for s in csc.violating_signals])
-        report.add_verdict("unique state coding (USC)", csc.usc)
-        report.add_verdict("determinism", determinism.deterministic,
-                           [f"{a} / {b}" for a, b in determinism.violating_pairs])
-        report.add_verdict(
-            "CSC-reducibility", bool(report.csc_reducible),
-            [f"mutually complementary input sequences for "
-             f"{', '.join(complementary.offending_signals)}"]
-            if complementary.offending_signals else [])
-
-        # Optional phase 4: liveness extras.
-        if include_liveness:
-            with timer.phase("live"):
-                deadlocks = self.deadlock_freedom()
-                reversibility = self.reversibility()
-            report.deadlock_free = deadlocks.deadlock_free
-            report.reversible = reversibility.reversible
-            report.add_verdict("deadlock freedom", deadlocks.deadlock_free,
-                               [str(deadlocks)] if not deadlocks.deadlock_free
-                               else [])
-            report.add_verdict("reversibility", reversibility.reversible,
-                               [str(reversibility)]
-                               if not reversibility.reversible else [])
-
+        if self.traversal_ran:
+            traversal_stats = self.traversal_stats
+            report.num_states = traversal_stats.num_states
+            report.bdd_peak_nodes = traversal_stats.peak_nodes
+            report.bdd_final_nodes = traversal_stats.final_nodes
+            report.bdd_variables = traversal_stats.num_variables
         report.timings = timer.as_dict()
         return report

@@ -94,6 +94,12 @@ class CorpusEntry:
     arbitration_places: Tuple[str, ...] = ()
     text: Optional[str] = None
     builder: Optional[Callable[[], object]] = None
+    #: Provenance of entries drawn from a scalable family: the family
+    #: name and the scale the builder was instantiated at (for the
+    #: random families the scale is the generator seed).  ``None`` for
+    #: hand-written, fixed-size entries.
+    family: Optional[str] = None
+    scale: Optional[int] = None
     _cached_text: Optional[str] = field(default=None, repr=False)
 
     @property
@@ -115,6 +121,30 @@ class CorpusEntry:
     def mismatches(self, report) -> List[str]:
         """Expected-vs-observed differences (see :func:`mismatches_against`)."""
         return mismatches_against(self.expected, report)
+
+    def listing_dict(self) -> Dict[str, object]:
+        """Machine-readable record for ``batch-check --list --json``.
+
+        Everything external tooling used to scrape from the text table:
+        name, source, family/scale provenance, interface sizes,
+        arbitration places and the expected verdicts (classifications as
+        their string form).
+        """
+        return {
+            "name": self.name,
+            "source": self.source,
+            "description": self.description,
+            "family": self.family,
+            "scale": self.scale,
+            "num_inputs": self.num_inputs,
+            "num_outputs": self.num_outputs,
+            "num_internals": self.num_internals,
+            "num_signals": self.num_signals,
+            "arbitration_places": list(self.arbitration_places),
+            "expected": {
+                key: (str(value) if key == "classification" else value)
+                for key, value in self.expected.items()},
+        }
 
 
 def _no_arbitration(stg) -> List[str]:
@@ -347,6 +377,7 @@ register(CorpusEntry(
     expected={"consistent": True, "persistent": True, "csc": True,
               "usc": True, "deadlock_free": True, "states": 12,
               "classification": _GATE},
+    family="mutex", scale=2,
     builder=generators.mutex_element))
 
 register(CorpusEntry(
@@ -380,6 +411,7 @@ register(CorpusEntry(
     expected={"consistent": True, "persistent": True, "csc": True,
               "usc": True, "deadlock_free": True, "states": 20,
               "classification": _GATE},
+    family="master_read", scale=2,
     builder=lambda: generators.master_read(2)))
 
 register(CorpusEntry(
@@ -391,6 +423,7 @@ register(CorpusEntry(
     expected={"consistent": True, "persistent": True, "csc": True,
               "usc": True, "deadlock_free": True, "states": 16,
               "classification": _GATE},
+    family="muller_pipeline", scale=3,
     builder=lambda: generators.muller_pipeline(3)))
 
 register(CorpusEntry(
@@ -402,6 +435,7 @@ register(CorpusEntry(
     expected={"consistent": True, "persistent": True, "csc": True,
               "usc": True, "deadlock_free": True, "states": 16,
               "classification": _GATE},
+    family="parallel_handshakes", scale=2,
     builder=lambda: generators.parallel_handshakes(2)))
 
 register(CorpusEntry(
@@ -413,6 +447,7 @@ register(CorpusEntry(
     expected={"consistent": True, "persistent": True, "csc": True,
               "usc": True, "deadlock_free": True, "states": 32,
               "classification": _GATE},
+    family="muller_pipeline", scale=4,
     builder=lambda: generators.muller_pipeline(4)))
 
 register(CorpusEntry(
@@ -424,6 +459,7 @@ register(CorpusEntry(
     expected={"consistent": True, "persistent": True, "csc": True,
               "usc": True, "deadlock_free": True, "states": 56,
               "classification": _GATE},
+    family="master_read", scale=3,
     builder=lambda: generators.master_read(3)))
 
 register(CorpusEntry(
@@ -435,6 +471,7 @@ register(CorpusEntry(
     expected={"consistent": True, "persistent": True, "csc": True,
               "usc": True, "deadlock_free": True, "states": 64,
               "classification": _GATE},
+    family="parallel_handshakes", scale=3,
     builder=lambda: generators.parallel_handshakes(3)))
 
 register(CorpusEntry(
@@ -447,6 +484,7 @@ register(CorpusEntry(
     expected={"consistent": True, "persistent": True, "csc": True,
               "usc": True, "deadlock_free": True, "states": 32,
               "classification": _GATE},
+    family="mutex", scale=3,
     builder=lambda: generators.mutex_element(3)))
 
 register(CorpusEntry(
@@ -546,6 +584,7 @@ def _register_random_entries() -> None:
             source="random",
             expected={"consistent": True, "persistent": True,
                       "deadlock_free": True, "states": 2 * signals},
+            family="random_ring", scale=seed,
             builder=(lambda signals=signals, seed=seed:
                      generators.random_ring(signals, seed)),
             **_interface(stg)))
@@ -563,6 +602,7 @@ def _register_random_entries() -> None:
                       "deadlock_free": True,
                       "states": generators.random_parallel_state_count(
                           rings, seed)},
+            family="random_parallel", scale=seed,
             builder=(lambda rings=rings, seed=seed:
                      generators.random_parallel(rings, seed)),
             **_interface(stg)))

@@ -1,0 +1,173 @@
+"""The verification-engine protocol and registry.
+
+The paper's pipeline exists in two implementations -- the symbolic BDD
+engine (:mod:`repro.core`) and the explicit enumeration oracle
+(:mod:`repro.sg`).  This module gives them (and any future backend: a
+hybrid engine, a remote one, ...) a single plug-in point::
+
+    from repro import engines
+
+    engines.available()                  # ["symbolic", "explicit", ...]
+    engine = engines.get("symbolic")
+    outcome = engine.run(stg, config, checks)
+
+    engines.register("hybrid", MyHybridEngine())   # new backends plug in
+
+Nothing outside this module hard-codes engine knowledge: the CLI, the
+sweep runner and the corpus batch-check all go through
+:func:`repro.api.run`, which dispatches here by
+:attr:`~repro.api.config.EngineConfig.engine` name.  Adding a backend is
+therefore one ``register`` call -- no CLI or runner changes.
+
+An engine is anything matching the :class:`Engine` protocol: a ``name``,
+the ``checks`` it supports (names from :mod:`repro.api.checks`), and a
+``run(stg, config, checks)`` returning an :class:`EngineRun`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+try:  # Protocol is 3.8+; keep a soft fallback for exotic interpreters
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+from repro.api.errors import UnknownEngineError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
+    from repro.api.config import EngineConfig
+    from repro.core.pipeline import VerificationPipeline
+    from repro.report import ImplementabilityReport
+    from repro.stg.stg import STG
+
+
+@dataclass
+class EngineRun:
+    """Everything one engine run produced.
+
+    ``report`` is the verdict object every consumer reads;
+    ``traversal`` carries the symbolic traversal statistics (``None`` on
+    engines without a traversal) and ``pipeline`` exposes the symbolic
+    intermediates (encoding, image, reachable BDD) for consumers that
+    keep working after the check -- synthesis, liveness extras,
+    witnesses -- without re-running the traversal.
+    """
+
+    report: "ImplementabilityReport"
+    traversal: Optional[Dict[str, int]] = None
+    pipeline: Optional["VerificationPipeline"] = None
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """The backend protocol: run selected checks on one specification."""
+
+    name: str
+
+    @property
+    def checks(self) -> Sequence[str]:
+        """Names of the property checks this engine implements."""
+        ...  # pragma: no cover - protocol
+
+    def run(self, stg: "STG", config: "EngineConfig",
+            checks: Sequence[str]) -> EngineRun:
+        """Verify ``stg`` under ``config`` running exactly ``checks``."""
+        ...  # pragma: no cover - protocol
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Engine] = {}
+
+
+def register(name: str, engine: Engine, replace: bool = False) -> Engine:
+    """Register an engine under ``name`` (``replace=True`` to override)."""
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"duplicate engine {name!r}")
+    _REGISTRY[name] = engine
+    return engine
+
+
+def unregister(name: str) -> None:
+    """Remove a registered engine (mainly for tests and plug-in teardown)."""
+    _REGISTRY.pop(name, None)
+
+
+def available() -> List[str]:
+    """Every registered engine name, in registration order."""
+    return list(_REGISTRY)
+
+
+def get(name: str) -> Engine:
+    """Look up an engine; unknown names raise :class:`UnknownEngineError`
+    with a did-you-mean suggestion."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownEngineError(name, available()) from None
+
+
+# ----------------------------------------------------------------------
+# Built-in engines (adapters over repro.core / repro.sg)
+# ----------------------------------------------------------------------
+class SymbolicEngine:
+    """The paper's contribution: symbolic BDD traversal (:mod:`repro.core`)."""
+
+    name = "symbolic"
+
+    @property
+    def checks(self) -> List[str]:
+        from repro.api.checks import supported_checks
+
+        return supported_checks(self.name)
+
+    def run(self, stg: "STG", config: "EngineConfig",
+            checks: Sequence[str]) -> EngineRun:
+        from repro.core.pipeline import VerificationPipeline
+
+        pipeline = VerificationPipeline(
+            stg,
+            arbitration_places=config.arbitration_places,
+            ordering=config.ordering,
+            traversal_strategy=config.traversal_strategy,
+            initial_values=config.initial_values_dict,
+            commutativity_fallback_states=config.
+            commutativity_fallback_states)
+        report = pipeline.run(checks=list(checks))
+        traversal = (pipeline.traversal_stats.to_dict()
+                     if pipeline.traversal_ran else None)
+        return EngineRun(report=report, traversal=traversal,
+                         pipeline=pipeline)
+
+
+class ExplicitEngine:
+    """The enumeration baseline and testing oracle (:mod:`repro.sg`)."""
+
+    name = "explicit"
+
+    @property
+    def checks(self) -> List[str]:
+        from repro.api.checks import supported_checks
+
+        return supported_checks(self.name)
+
+    def run(self, stg: "STG", config: "EngineConfig",
+            checks: Sequence[str]) -> EngineRun:
+        from repro.sg.checker import ExplicitVerification
+
+        context = ExplicitVerification(
+            stg,
+            initial_values=config.initial_values_dict,
+            arbitration_places=config.arbitration_places,
+            max_states=config.max_states)
+        return EngineRun(report=context.run(checks=list(checks)))
+
+
+register("symbolic", SymbolicEngine())
+register("explicit", ExplicitEngine())

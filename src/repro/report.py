@@ -102,14 +102,30 @@ class ImplementabilityReport:
         return all(parts)
 
     @property
-    def classification(self) -> ImplementabilityClass:
-        """Implementability class per Definition 2.6 / Propositions 3.1-3.2."""
-        basic = (bool(self.bounded) and bool(self.consistent)
-                 and bool(self.output_persistent))
+    def classification(self) -> Optional[ImplementabilityClass]:
+        """Implementability class per Definition 2.6 / Propositions 3.1-3.2.
+
+        ``None`` when a partial ``checks=`` run left the class undecided:
+        the basics (boundedness, consistency, persistency) unchecked, CSC
+        unchecked, or -- with CSC failing -- the reducibility check not
+        run at all.  A reducibility check that *ran* but left only
+        commutativity undecided still classifies as SI (the undecided
+        verdict blocks the I/O upgrade, not the classification).
+        """
+        basics = (self.bounded, self.consistent, self.output_persistent)
+        if any(part is None for part in basics):
+            return None
+        basic = all(bool(part) for part in basics)
         if not basic:
             return ImplementabilityClass.NOT_IMPLEMENTABLE
+        if self.csc is None:
+            return None
         if self.csc:
             return ImplementabilityClass.GATE
+        reducibility_parts = (self.deterministic, self.commutative,
+                              self.complementary_free)
+        if all(part is None for part in reducibility_parts):
+            return None  # the reducibility check never ran
         if self.csc_reducible:
             return ImplementabilityClass.IO
         return ImplementabilityClass.SI
@@ -146,7 +162,8 @@ class ImplementabilityReport:
         ]
         for verdict in self.verdicts:
             lines.append(f"  {verdict}")
-        lines.append(f"  classification: {self.classification}")
+        if self.classification is not None:
+            lines.append(f"  classification: {self.classification}")
         if self.bdd_peak_nodes is not None:
             lines.append(f"  BDD nodes: peak {self.bdd_peak_nodes}, "
                          f"final {self.bdd_final_nodes} "
@@ -209,7 +226,8 @@ class ImplementabilityReport:
             "fake_free": self.fake_free,
             "deadlock_free": self.deadlock_free,
             "reversible": self.reversible,
-            "classification": str(self.classification),
+            "classification": (str(self.classification)
+                               if self.classification is not None else None),
             "bdd_peak": self.bdd_peak_nodes,
             "bdd_final": self.bdd_final_nodes,
             "timings": dict(self.timings),

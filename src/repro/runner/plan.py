@@ -2,25 +2,33 @@
 
 A :class:`SweepPlan` is the declarative half of the runner subsystem: it
 selects benchmark-corpus entries and/or scalable-family scale ranges,
-fixes the engine configuration, and carries the execution knobs (worker
-count, shard spec, per-entry timeout).  :meth:`SweepPlan.tasks` expands
-the plan into a deterministic list of self-contained :class:`SweepTask`
-objects -- plain picklable data (name, canonical ``.g`` text, engine
-config, expected verdicts) that a worker process can execute without any
-access to the registry, and whose content :attr:`~SweepTask.fingerprint`
-keys the persistent :class:`~repro.runner.store.RunStore` cache.
+fixes the engine configuration as one typed
+:class:`~repro.api.config.EngineConfig`, and carries the execution knobs
+(worker count, shard spec).  :meth:`SweepPlan.tasks` expands the plan
+into a deterministic list of self-contained :class:`SweepTask` objects --
+plain picklable data (name, canonical ``.g`` text, engine config,
+expected verdicts) that a worker process can execute without any access
+to the registry, and whose content :attr:`~SweepTask.fingerprint` keys
+the persistent :class:`~repro.runner.store.RunStore` cache.
+
+This module contains no engine knowledge: the config is an opaque
+:class:`EngineConfig` (validated at construction) and workers execute it
+through :func:`repro.api.run`.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.config import EngineConfig
 
 #: Bump when the worker result schema changes incompatibly; part of every
 #: task fingerprint, so a schema change invalidates old cache records.
-SCHEMA_VERSION = 1
+#: (2: engine configuration serialised as EngineConfig.to_dict().)
+SCHEMA_VERSION = 2
 
 
 class PlanError(ValueError):
@@ -91,33 +99,44 @@ def normalise_expected(expected: Mapping[str, object]) -> Dict[str, object]:
 class SweepTask:
     """One self-contained unit of sweep work (picklable, JSON-able).
 
-    ``delay`` is a testing/benchmarking hook: the worker sleeps that many
-    seconds before checking, which lets the timeout and scheduling paths
-    be exercised deterministically without a pathological specification.
+    ``config`` is the complete engine configuration; its serialised form
+    travels to the worker, which replays it through
+    :func:`repro.api.run`.  ``delay`` is a testing/benchmarking hook: the
+    worker sleeps that many seconds before checking, which lets the
+    timeout and scheduling paths be exercised deterministically without a
+    pathological specification.
     """
 
     name: str
     g_text: str
-    engine: str = "symbolic"
-    ordering: str = "force"
-    arbitration: Tuple[str, ...] = ()
+    config: EngineConfig = field(default_factory=EngineConfig)
     expected: Mapping[str, object] = field(default_factory=dict)
-    timeout: Optional[float] = None
     delay: float = 0.0
+
+    @property
+    def engine(self) -> str:
+        return self.config.engine
+
+    @property
+    def timeout(self):
+        return self.config.timeout
 
     @property
     def fingerprint(self) -> str:
         """Content hash keying the persistent result cache.
 
         Covers everything that determines the verdict: the canonical
-        ``.g`` text, the engine configuration, the expected metadata the
-        mismatch check runs against, and the result schema version.
-        Execution knobs (timeout, delay) deliberately do not participate.
+        ``.g`` text, the engine configuration
+        (:meth:`~repro.api.config.EngineConfig.to_dict`, minus the
+        execution-knob ``timeout``), the expected metadata the mismatch
+        check runs against, and the result schema version.  Execution
+        knobs (timeout, delay) deliberately do not participate.
         """
+        config = self.config.to_dict()
+        config.pop("timeout", None)
         material = json.dumps(
             {"schema": SCHEMA_VERSION, "g_text": self.g_text,
-             "engine": self.engine, "ordering": self.ordering,
-             "arbitration": sorted(self.arbitration),
+             "config": config,
              "expected": normalise_expected(self.expected)},
             sort_keys=True)
         return hashlib.sha256(material.encode("utf-8")).hexdigest()
@@ -127,9 +146,7 @@ class SweepTask:
         return {
             "name": self.name,
             "g_text": self.g_text,
-            "engine": self.engine,
-            "ordering": self.ordering,
-            "arbitration": list(self.arbitration),
+            "config": self.config.to_dict(),
             "expected": normalise_expected(self.expected),
             "fingerprint": self.fingerprint,
             "delay": self.delay,
@@ -173,26 +190,30 @@ class SweepPlan:
     ``names`` selects corpus entries (empty = the whole corpus);
     ``families`` adds scalable-family instances as ``(family, scales)``
     pairs on top, which is how a sweep scales to hundreds of entries
-    without registering each one.  Expansion order is deterministic
-    (corpus registration order, then families in the given order), so
-    shard partitions and result ordering are stable across runs.
+    without registering each one.  ``config`` is the engine
+    configuration shared by every task -- except that each task's
+    ``arbitration_places`` are taken from its registry metadata (the
+    entry knows its own arbitration points).  Expansion order is
+    deterministic (corpus registration order, then families in the given
+    order), so shard partitions and result ordering are stable across
+    runs.
     """
 
     names: Sequence[str] = ()
     families: Sequence[Tuple[str, Sequence[int]]] = ()
-    engine: str = "symbolic"
-    ordering: str = "force"
+    config: EngineConfig = field(default_factory=EngineConfig)
     jobs: int = 1
     shard: ShardSpec = field(default_factory=ShardSpec)
-    timeout: Optional[float] = None
     _expanded: Optional[List[SweepTask]] = field(
         default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        if self.engine not in ("symbolic", "explicit"):
-            raise PlanError(f"unknown engine {self.engine!r}")
         if self.jobs < 1:
             raise PlanError(f"jobs must be >= 1, got {self.jobs}")
+
+    @property
+    def engine(self) -> str:
+        return self.config.engine
 
     def tasks(self) -> List[SweepTask]:
         """Expand the plan into the full (unsharded) task list.
@@ -207,6 +228,10 @@ class SweepPlan:
             self._expanded = self._expand()
         return list(self._expanded)
 
+    def _task_config(self, arbitration: Sequence[str]) -> EngineConfig:
+        """The plan config specialised to one entry's arbitration places."""
+        return replace(self.config, arbitration_places=tuple(arbitration))
+
     def _expand(self) -> List[SweepTask]:
         from repro import corpus
         from repro.stg.writer import to_g_string
@@ -217,11 +242,8 @@ class SweepPlan:
             tasks.append(SweepTask(
                 name=entry.name,
                 g_text=entry.g_text,
-                engine=self.engine,
-                ordering=self.ordering,
-                arbitration=tuple(entry.arbitration_places),
-                expected=normalise_expected(entry.expected),
-                timeout=self.timeout))
+                config=self._task_config(entry.arbitration_places),
+                expected=normalise_expected(entry.expected)))
         for family_name, scales in self.families:
             try:
                 family = corpus.family(family_name)
@@ -238,11 +260,8 @@ class SweepPlan:
                 tasks.append(SweepTask(
                     name=f"{family.name}@{scale}",
                     g_text=to_g_string(stg),
-                    engine=self.engine,
-                    ordering=self.ordering,
-                    arbitration=tuple(arbitration),
-                    expected=normalise_expected(family.expected),
-                    timeout=self.timeout))
+                    config=self._task_config(arbitration),
+                    expected=normalise_expected(family.expected)))
         return tasks
 
     def shard_tasks(self) -> List[SweepTask]:

@@ -26,7 +26,7 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
     """Run one task payload; always returns an EntryResult dict."""
     start = time.perf_counter()
     name = str(payload["name"])
-    engine = str(payload["engine"])
+    engine = str(dict(payload.get("config") or {}).get("engine", "?"))
     fingerprint = str(payload["fingerprint"])
     delay = float(payload.get("delay") or 0.0)
     try:
@@ -55,21 +55,20 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
 
 
 def _check(payload: Dict[str, object]):
-    """Parse and verify; returns ``(report, traversal_stats_dict)``."""
-    from repro.core.pipeline import VerificationPipeline
-    from repro.sg.checker import ExplicitChecker
+    """Parse and verify through the facade; returns ``(report, traversal)``.
+
+    The payload's ``config`` dict is replayed as an
+    :class:`~repro.api.config.EngineConfig` and executed via
+    :func:`repro.api.run` with every supported check selected, so cached
+    verdicts are always complete regardless of engine.
+    """
+    from repro import api
     from repro.stg.parser import parse_g
 
     stg = parse_g(str(payload["g_text"]), name=str(payload["name"]))
-    arbitration = list(payload.get("arbitration") or [])
-    if payload["engine"] == "explicit":
-        report = ExplicitChecker(stg, arbitration_places=arbitration).check()
-        return report, None
-    pipeline = VerificationPipeline(
-        stg, arbitration_places=arbitration,
-        ordering=str(payload.get("ordering") or "force"))
-    report = pipeline.run(include_liveness=True)
-    return report, pipeline.traversal_stats.to_dict()
+    config = api.EngineConfig.from_dict(dict(payload.get("config") or {}))
+    outcome = api.run(stg, config, checks=api.ALL)
+    return outcome.report, outcome.traversal
 
 
 def _mismatches(payload: Dict[str, object], report) -> list:
@@ -86,7 +85,7 @@ def child_main(connection, payload: Dict[str, object]) -> None:
         result = EntryResult(
             name=str(payload.get("name", "?")),
             status="error",
-            engine=str(payload.get("engine", "?")),
+            engine=str(dict(payload.get("config") or {}).get("engine", "?")),
             fingerprint=str(payload.get("fingerprint", "")),
             error=f"worker crashed:\n{traceback.format_exc()}").to_dict()
     try:

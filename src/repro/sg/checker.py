@@ -1,9 +1,15 @@
-"""Explicit (enumerative) implementability checker.
+"""Explicit (enumerative) implementability checking.
 
-Mirrors :class:`repro.core.checker.ImplementabilityChecker` but computes
-every property by enumerating the full state graph.  It is the baseline
-the paper improves upon and the oracle used to validate the symbolic
-engine on small specifications.
+Mirrors the symbolic engine (:mod:`repro.core`) but computes every
+property by enumerating the full state graph.  It is the baseline the
+paper improves upon and the oracle used to validate the symbolic engine
+on small specifications.
+
+:class:`ExplicitVerification` is the engine context: it owns the lazily
+built state graph (built once, shared by every check) and implements the
+property checks of the :mod:`repro.api.checks` registry as
+``_check_<name>`` appliers.  :class:`ExplicitChecker` is the historical
+facade, kept as a thin deprecation shim over :func:`repro.api.run`.
 """
 
 from __future__ import annotations
@@ -22,8 +28,14 @@ from repro.stg.stg import STG
 from repro.utils.timing import PhaseTimer
 
 
-class ExplicitChecker:
-    """Check STG implementability by explicit state enumeration.
+class ExplicitVerification:
+    """One STG, one state-graph enumeration, every property check.
+
+    The explicit counterpart of
+    :class:`repro.core.pipeline.VerificationPipeline`: the expensive
+    intermediate -- the full state graph -- is built lazily on first
+    access and shared by every check, and :meth:`run` executes a selected
+    subset of the registered property checks.
 
     Parameters
     ----------
@@ -47,30 +59,40 @@ class ExplicitChecker:
         self.initial_values = initial_values
         self.arbitration_places = list(arbitration_places or ())
         self.max_states = max_states
+        self._build_result = None
+        self._boundedness = None
 
-    def check(self) -> ImplementabilityReport:
-        """Run every check and produce the report."""
-        stg = self.stg
-        stats = stg.statistics()
-        report = ImplementabilityReport(
-            stg_name=stg.name, method="explicit",
-            num_places=stats["places"],
-            num_transitions=stats["transitions"],
-            num_signals=stats["signals"])
-        timer = PhaseTimer()
+    # ------------------------------------------------------------------
+    # The shared intermediates
+    # ------------------------------------------------------------------
+    @property
+    def build_result(self):
+        """The state-graph construction outcome; enumerated exactly once."""
+        if self._build_result is None:
+            self._build_result = build_state_graph(
+                self.stg, self.initial_values, max_states=self.max_states)
+        return self._build_result
 
-        # Phase 1: traversal + consistency + boundedness ("T+C").
-        with timer.phase("T+C"):
-            result = build_state_graph(stg, self.initial_values,
-                                       max_states=self.max_states)
-            graph = result.graph
-            report.num_states = graph.num_states
-            boundedness = check_boundedness(
-                stg.net, max_markings=self.max_states)
-            report.bounded = boundedness.bounded and not result.truncated
-            report.safe = boundedness.safe if boundedness.bounded else False
-            consistency = check_consistency(graph, stg)
-            report.consistent = consistency.consistent and result.consistent
+    @property
+    def graph(self):
+        return self.build_result.graph
+
+    @property
+    def boundedness(self):
+        if self._boundedness is None:
+            self._boundedness = check_boundedness(
+                self.stg.net, max_markings=self.max_states)
+        return self._boundedness
+
+    # ------------------------------------------------------------------
+    # Check application (the explicit side of the repro.api check registry)
+    # ------------------------------------------------------------------
+    def _check_consistency(self, report: ImplementabilityReport) -> None:
+        result = self.build_result
+        report.num_states = self.graph.num_states
+        report.bounded = self.boundedness.bounded and not result.truncated
+        consistency = check_consistency(self.graph, self.stg)
+        report.consistent = consistency.consistent and result.consistent
         report.add_verdict(
             "bounded", bool(report.bounded),
             [] if report.bounded else ["state budget exceeded or unbounded"])
@@ -79,37 +101,105 @@ class ExplicitChecker:
             [str(v) for v in consistency.violations[:5]]
             + [str(v) for v in result.consistency_violations[:5]])
 
-        # Phase 2: persistency ("NI-p") and fake conflicts.
-        with timer.phase("NI-p"):
-            persistency = check_signal_persistency(
-                graph, stg, self.arbitration_places)
-            report.output_persistent = persistency.persistent
-            conflicts = classify_conflicts(stg)
-            report.fake_free = conflicts.fake_free(stg)
+    def _check_safeness(self, report: ImplementabilityReport) -> None:
+        boundedness = self.boundedness
+        report.safe = boundedness.safe if boundedness.bounded else False
+        report.add_verdict("safeness", bool(report.safe),
+                           [] if report.safe else ["a place holds >1 token"])
+
+    def _check_persistency(self, report: ImplementabilityReport) -> None:
+        persistency = check_signal_persistency(
+            self.graph, self.stg, self.arbitration_places)
+        report.output_persistent = persistency.persistent
         report.add_verdict("signal persistency", persistency.persistent,
                            [str(v) for v in persistency.violations[:5]])
+
+    def _check_fake_conflicts(self, report: ImplementabilityReport) -> None:
+        conflicts = classify_conflicts(self.stg)
+        report.fake_free = conflicts.fake_free(self.stg)
         report.add_verdict(
             "fake-conflict freedom", bool(report.fake_free),
             [str(c) for c in conflicts.symmetric_fake[:3]]
             + [str(c) for c in conflicts.asymmetric_fake[:3]])
 
-        # Phase 3: CSC and CSC-reducibility ("CSC").
-        with timer.phase("CSC"):
-            csc = check_csc(graph, stg)
-            report.csc = csc.csc
-            report.usc = csc.usc
-            reducibility = check_reducibility(graph, stg)
-            report.deterministic = reducibility.deterministic
-            report.commutative = reducibility.commutative
-            report.complementary_free = reducibility.complementary_free
+    def _check_csc(self, report: ImplementabilityReport) -> None:
+        csc = check_csc(self.graph, self.stg)
+        report.csc = csc.csc
+        report.usc = csc.usc
         report.add_verdict("complete state coding (CSC)", csc.csc,
                            [str(c) for c in csc.conflicts[:5]])
         report.add_verdict("unique state coding (USC)", csc.usc)
+
+    def _check_reducibility(self, report: ImplementabilityReport) -> None:
+        reducibility = check_reducibility(self.graph, self.stg)
+        report.deterministic = reducibility.deterministic
+        report.commutative = reducibility.commutative
+        report.complementary_free = reducibility.complementary_free
         report.add_verdict(
             "CSC-reducibility", bool(report.csc_reducible),
             [f"mutually complementary input sequences for "
              f"{', '.join(reducibility.offending_signals)}"]
             if reducibility.offending_signals else [])
 
+    # ------------------------------------------------------------------
+    # Full report
+    # ------------------------------------------------------------------
+    def run(self, checks=None) -> ImplementabilityReport:
+        """Run the selected property checks and build a report.
+
+        ``checks`` is a selection understood by
+        :func:`repro.api.checks.resolve_checks` (``None`` = the default
+        set).  Checks run grouped by their registry phase (``T+C``,
+        ``NI-p``, ``CSC``), sharing the lazily enumerated state graph.
+        """
+        from repro.api.checks import (
+            CHECKS,
+            apply_check,
+            group_by_phase,
+            resolve_checks,
+        )
+
+        selected = resolve_checks(checks, engine="explicit")
+        stats = self.stg.statistics()
+        report = ImplementabilityReport(
+            stg_name=self.stg.name, method="explicit",
+            num_places=stats["places"],
+            num_transitions=stats["transitions"],
+            num_signals=stats["signals"])
+        timer = PhaseTimer()
+        for phase, names in group_by_phase(selected):
+            with timer.phase(phase):
+                for name in names:
+                    apply_check(self, CHECKS[name], report, "explicit")
         report.timings = timer.as_dict()
         return report
+
+
+class ExplicitChecker:
+    """Deprecated constructor-style facade over :func:`repro.api.run`.
+
+    Kept so existing callers (and the cross-validation test-suite) keep
+    working; new code should call :func:`repro.api.verify` with an
+    :class:`~repro.api.config.EngineConfig` instead.  The parameters
+    mirror :class:`ExplicitVerification`.
+    """
+
+    def __init__(self, stg: STG,
+                 initial_values: Optional[Dict[str, bool]] = None,
+                 arbitration_places: Optional[Iterable[str]] = None,
+                 max_states: int = 1_000_000) -> None:
+        self.stg = stg
+        self.initial_values = initial_values
+        self.arbitration_places = list(arbitration_places or ())
+        self.max_states = max_states
+
+    def check(self) -> ImplementabilityReport:
+        """Run every check and produce the report (via :mod:`repro.api`)."""
+        from repro import api
+
+        config = api.EngineConfig(
+            engine="explicit",
+            initial_values=self.initial_values,
+            arbitration_places=tuple(self.arbitration_places),
+            max_states=self.max_states)
+        return api.verify(self.stg, config)

@@ -14,7 +14,7 @@ test suite.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Set
 
 from repro.sg.regions import compute_regions
 from repro.sg.state import State, StateGraph

@@ -21,7 +21,7 @@ transitions are persistent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.petri.reachability import ReachabilityGraph, build_reachability_graph
 from repro.stg.stg import STG

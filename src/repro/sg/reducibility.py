@@ -25,7 +25,6 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
-from repro.sg.csc import check_csc
 from repro.sg.regions import compute_regions
 from repro.sg.state import State, StateGraph
 from repro.stg.stg import STG

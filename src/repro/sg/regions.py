@@ -15,7 +15,7 @@ codes* occurring in opposite excitation / quiescent regions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Set
+from typing import Dict, List, Set
 
 from repro.sg.state import State, StateGraph
 from repro.stg.stg import STG

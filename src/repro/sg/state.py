@@ -11,7 +11,7 @@ symbolic encoding of the paper does the same (the state vector
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Tuple
 
 from repro.petri.marking import Marking
 

@@ -9,7 +9,7 @@ transition.  This class additionally records the initial signal values
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set
 
 from repro.petri.marking import Marking
 from repro.petri.net import PetriNet

@@ -1,6 +1,5 @@
 """Tests for BDD serialisation (dump/load round trips)."""
 
-import io
 
 import pytest
 

@@ -11,7 +11,6 @@ from repro.core.charfun import CharacteristicFunctions
 from repro.core.encoding import SymbolicEncoding
 from repro.core.image import SymbolicImage
 from repro.sg import build_state_graph
-from repro.sg.state import State
 from repro.stg.generators import (
     csc_violation_example,
     fake_conflict_d1,

@@ -6,7 +6,6 @@ property checks, so these tests pin the caching behaviour as well as the
 equivalence with the :class:`ImplementabilityChecker` facade.
 """
 
-import pytest
 
 from repro import corpus
 from repro.core import ImplementabilityChecker, VerificationPipeline

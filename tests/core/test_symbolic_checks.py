@@ -18,7 +18,6 @@ from repro.core.reducibility import (
 )
 from repro.core.safeness import check_safeness
 from repro.core.traversal import symbolic_traversal
-from repro.petri.net import PetriNet
 from repro.stg import STG, SignalKind
 from repro.stg.generators import (
     asymmetric_fake_conflict_example,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import ImplementabilityChecker
-from repro.core.charfun import CharacteristicFunctions
 from repro.core.csc import compute_regions
 from repro.core.encoding import SymbolicEncoding
 from repro.core.image import SymbolicImage

@@ -1,6 +1,5 @@
 """Tests for place and transition invariants."""
 
-import pytest
 
 from repro.petri import PetriNet, build_reachability_graph
 from repro.petri.builders import chain, parallel_join

@@ -3,6 +3,7 @@
 import pytest
 
 from repro import corpus
+from repro.api import ApiError, EngineConfig
 from repro.runner import PlanError, ShardSpec, SweepPlan, parse_family_spec
 
 
@@ -58,7 +59,7 @@ class TestTaskExpansion:
 
     def test_tasks_carry_registry_data(self):
         task = SweepPlan(names=["mutex_element"]).tasks()[0]
-        assert task.arbitration == ("p_me",)
+        assert task.config.arbitration_places == ("p_me",)
         assert task.g_text == corpus.g_text("mutex_element")
         assert task.expected["csc"] is True
         assert task.expected["classification"] == "gate-implementable"
@@ -86,8 +87,10 @@ class TestTaskExpansion:
             ["handshake", "vme_read"]
 
     def test_invalid_engine_rejected(self):
-        with pytest.raises(PlanError):
-            SweepPlan(engine="quantum")
+        # Engine validation happens in EngineConfig (with a did-you-mean
+        # suggestion), so a plan can never carry an unknown engine.
+        with pytest.raises(ApiError, match="symbolic"):
+            SweepPlan(config=EngineConfig(engine="symbolc"))
 
     def test_invalid_jobs_rejected(self):
         with pytest.raises(PlanError):
@@ -120,16 +123,39 @@ class TestFingerprints:
     def test_sensitive_to_content_and_engine_config(self):
         base = SweepPlan(names=["handshake"]).tasks()[0]
         changed_text = SweepPlan(names=["vme_read"]).tasks()[0]
-        explicit = SweepPlan(names=["handshake"],
-                             engine="explicit").tasks()[0]
-        ordering = SweepPlan(names=["handshake"],
-                             ordering="declaration").tasks()[0]
+        explicit = SweepPlan(
+            names=["handshake"],
+            config=EngineConfig(engine="explicit")).tasks()[0]
+        ordering = SweepPlan(
+            names=["handshake"],
+            config=EngineConfig(ordering="declaration")).tasks()[0]
         fingerprints = {base.fingerprint, changed_text.fingerprint,
                         explicit.fingerprint, ordering.fingerprint}
         assert len(fingerprints) == 4
 
     def test_execution_knobs_do_not_invalidate(self):
         base = SweepPlan(names=["handshake"]).tasks()[0]
-        with_timeout = SweepPlan(names=["handshake"],
-                                 timeout=5.0).tasks()[0]
+        with_timeout = SweepPlan(
+            names=["handshake"],
+            config=EngineConfig(timeout=5.0)).tasks()[0]
         assert base.fingerprint == with_timeout.fingerprint
+
+    def test_fingerprint_material_is_the_config_dict(self):
+        # The acceptance contract of the api redesign: the cache key is
+        # computed from EngineConfig.to_dict(), so any semantic config
+        # change (and nothing else) invalidates cached results.
+        import hashlib
+        import json
+
+        from repro.runner.plan import SCHEMA_VERSION, normalise_expected
+
+        task = SweepPlan(names=["handshake"]).tasks()[0]
+        config = task.config.to_dict()
+        config.pop("timeout")
+        material = json.dumps(
+            {"schema": SCHEMA_VERSION, "g_text": task.g_text,
+             "config": config,
+             "expected": normalise_expected(task.expected)},
+            sort_keys=True)
+        expected = hashlib.sha256(material.encode("utf-8")).hexdigest()
+        assert task.fingerprint == expected

@@ -15,6 +15,7 @@ import json
 
 import pytest
 
+from repro.api import EngineConfig
 from repro.runner import (
     RunStore,
     SweepPlan,
@@ -57,7 +58,7 @@ class TestSweepExecution:
 
     def test_explicit_engine_sweep(self):
         sweep = run_sweep(SweepPlan(names=["handshake", "choice_controller"],
-                                    engine="explicit"))
+                                    config=EngineConfig(engine="explicit")))
         assert sweep.succeeded
         assert sweep.results[0].traversal is None
 
@@ -94,7 +95,7 @@ class TestFailureIsolation:
         class SlowPlan(SweepPlan):
             def tasks(self):
                 slow = SweepTask(name="slow", g_text="", delay=30.0,
-                                 timeout=0.2)
+                                 config=EngineConfig(timeout=0.2))
                 return [slow] + super().tasks()
 
         sweep = SweepRunner(SlowPlan(names=["handshake"], jobs=2)).run()
@@ -125,8 +126,7 @@ class TestResultCache:
                 tasks[2] = SweepTask(
                     name=victim.name,
                     g_text=victim.g_text + "\n",  # content change
-                    engine=victim.engine, ordering=victim.ordering,
-                    arbitration=victim.arbitration,
+                    config=victim.config,
                     expected=victim.expected)
                 return tasks
 
@@ -138,15 +138,17 @@ class TestResultCache:
 
     def test_engine_switch_invalidates_everything(self, tmp_path):
         names = ["handshake", "vme_read"]
+        explicit_config = EngineConfig(engine="explicit")
         run_sweep(SweepPlan(names=names), cache_dir=str(tmp_path))
-        explicit = run_sweep(SweepPlan(names=names, engine="explicit"),
+        explicit = run_sweep(SweepPlan(names=names, config=explicit_config),
                              cache_dir=str(tmp_path))
         assert explicit.cached == 0
         # Both configs now coexist in the store: alternating engines
         # keeps hitting the cache instead of evicting each other.
         symbolic_again = run_sweep(SweepPlan(names=names),
                                    cache_dir=str(tmp_path))
-        explicit_again = run_sweep(SweepPlan(names=names, engine="explicit"),
+        explicit_again = run_sweep(SweepPlan(names=names,
+                                             config=explicit_config),
                                    cache_dir=str(tmp_path))
         assert symbolic_again.cached == 2
         assert explicit_again.cached == 2

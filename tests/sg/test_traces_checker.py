@@ -1,6 +1,5 @@
 """Tests for trace utilities and the explicit checker facade."""
 
-import pytest
 
 from repro.report import ImplementabilityClass
 from repro.sg import ExplicitChecker, build_state_graph

@@ -1,6 +1,5 @@
 """Tests for the DOT exports and the VME bus controller example."""
 
-import pytest
 
 from repro.report import ImplementabilityClass
 from repro.sg import ExplicitChecker, build_state_graph

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.petri import build_reachability_graph
-from repro.stg import STG, STGError, SignalKind, parse_g, read_g_file, to_g_string, write_g
+from repro.stg import STGError, SignalKind, parse_g, read_g_file, to_g_string, write_g
 from repro.stg.generators import (
     csc_violation_example,
     handshake,

@@ -1,6 +1,5 @@
 """Tests for netlist / Verilog emission of the derived logic."""
 
-import pytest
 
 from repro.core.encoding import SymbolicEncoding
 from repro.core.image import SymbolicImage

@@ -92,6 +92,48 @@ class TestMain:
         assert main(["csc_violation", "--synthesize"]) == 0
         assert "synthesis skipped" in capsys.readouterr().out
 
+    def test_engine_option_matches_explicit_flag(self, capsys):
+        assert main(["handshake", "--engine", "explicit"]) == 0
+        assert "explicit check" in capsys.readouterr().out
+
+    def test_conflicting_engine_and_explicit_flags_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["handshake", "--engine", "symbolic", "--explicit"])
+        assert excinfo.value.code == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_unknown_engine_exits_2_with_did_you_mean(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["handshake", "--engine", "symbolc"])
+        assert excinfo.value.code == 2
+        assert "did you mean: symbolic" in capsys.readouterr().err
+
+    def test_checks_subset_runs_only_selected_checks(self, capsys):
+        assert main(["handshake", "--checks", "csc,persistency"]) == 0
+        output = capsys.readouterr().out
+        assert "complete state coding" in output
+        assert "signal persistency" in output
+        assert "consistent state assignment" not in output
+        assert "classification" not in output  # basics unchecked
+
+    def test_checks_subset_exit_code_reflects_selected_verdicts(self):
+        # csc_violation fails CSC (exit 1 for a csc-only run) but passes
+        # persistency (exit 0), even though the full-run exit code is 0.
+        assert main(["csc_violation", "--checks", "csc"]) == 1
+        assert main(["csc_violation", "--checks", "persistency"]) == 0
+
+    def test_unknown_check_exits_2_with_did_you_mean(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["handshake", "--checks", "cscx"])
+        assert excinfo.value.code == 2
+        assert "did you mean: csc" in capsys.readouterr().err
+
+    def test_unknown_arbitration_place_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mutex_element", "--arbitration", "p_mee"])
+        assert excinfo.value.code == 2
+        assert "did you mean: p_me" in capsys.readouterr().err
+
 
 class TestBatchCheck:
     """The corpus sweep: ``stg-check batch-check``."""
@@ -148,6 +190,38 @@ class TestBatchCheck:
         path = tmp_path / "handshake.g"
         assert path.exists()
         assert path.read_text() == corpus.g_text("handshake")
+
+    def test_unknown_batch_engine_exits_2_with_did_you_mean(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch-check", "handshake", "--engine", "explcit"])
+        assert excinfo.value.code == 2
+        assert "did you mean: explicit" in capsys.readouterr().err
+
+    def test_list_json_is_machine_readable(self, capsys):
+        assert main(["batch-check", "--list", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in payload["entries"]}
+        assert set(by_name) == set(corpus.names())
+        # Expected verdicts ship as JSON values, classification as text.
+        vme = by_name["vme_read"]
+        assert vme["expected"]["csc"] is False
+        assert vme["expected"]["classification"] == "I/O-implementable"
+        assert vme["family"] is None
+        # Family-derived entries carry their provenance.
+        pipeline = by_name["muller_pipeline_3"]
+        assert pipeline["family"] == "muller_pipeline"
+        assert pipeline["scale"] == 3
+        mutex = by_name["mutex_element"]
+        assert mutex["arbitration_places"] == ["p_me"]
+        # The scalable families a --family sweep can draw from.
+        family_names = [family["name"] for family in payload["families"]]
+        assert "random_ring" in family_names
+
+    def test_list_json_to_file(self, tmp_path, capsys):
+        path = tmp_path / "listing.json"
+        assert main(["batch-check", "--list", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert len(payload["entries"]) == len(corpus.names())
 
 
 class TestBatchCheckRunnerFlags:
