@@ -1,14 +1,21 @@
-# Developer entry points. `make check` is the gate: lint, the full unit
-# and integration suite (including the cross-engine API-parity tests
-# under tests/api/), plus a real sharded parallel sweep, so the runner
-# path is exercised outside its unit tests on every run.
+# Developer entry points. `make check` is the everyday gate: lint, the
+# full unit and integration suite (including the cross-engine API-parity
+# tests under tests/api/), plus a real sharded parallel sweep, so the
+# runner path is exercised outside its unit tests on every run.
+#
+# `make ci` mirrors .github/workflows/ci.yml on one machine: lint, the
+# suite with slow-test timings, then the sweep gate (tools/sweep_gate.py)
+# -- every execution backend must produce byte-identical stable JSON and
+# merging four shard stores must reproduce the unsharded sweep.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test smoke bench
+.PHONY: check ci lint test test-ci smoke sweep-gate bench
 
 check: lint test smoke
+
+ci: lint test-ci sweep-gate
 
 lint:
 	$(PYTHON) tools/lint.py src tests tools
@@ -16,9 +23,15 @@ lint:
 test:
 	$(PYTHON) -m pytest -q
 
+test-ci:
+	$(PYTHON) -m pytest -q --durations=10
+
 smoke:
 	$(PYTHON) -m pytest -q -m smoke
 	$(PYTHON) -m repro batch-check --shard 0/8 --jobs 2
+
+sweep-gate:
+	$(PYTHON) tools/sweep_gate.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks --benchmark-only

@@ -22,8 +22,11 @@ per-property verdict against the registry's expected metadata::
     stg-check batch-check --list
     stg-check batch-check --list --json - # machine-readable listing
     stg-check batch-check --jobs 4 --cache-dir .repro-cache
-    stg-check batch-check --shard 0/8 --jobs 2
+    stg-check batch-check --shard 0/8 --jobs 2 --backend thread
     stg-check batch-check --family random_ring:1-100 --json report.json
+    stg-check batch-check --cache-dir store --resume
+    stg-check batch-check --merge shard-0 shard-1 --cache-dir merged
+    stg-check batch-check --cache-dir store --cache-gc entries=1000,age=7d
 """
 
 from __future__ import annotations
@@ -111,15 +114,22 @@ def build_batch_check_parser() -> argparse.ArgumentParser:
                              "scale range, e.g. random_ring:1-100 or "
                              "muller_pipeline:6 (repeatable)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="number of worker processes (default: 1, "
-                             "in-process)")
+                        help="number of concurrent workers (default: 1)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="execution backend: process (worker pool, the "
+                             "default; the only one enforcing --timeout), "
+                             "thread, serial, or any backend registered "
+                             "via repro.runner.backends.register; all "
+                             "backends produce byte-identical stable "
+                             "results")
     parser.add_argument("--shard", default="0/1", metavar="I/N",
                         help="run only shard I of an N-way round-robin "
                              "partition of the sweep (default: 0/1)")
     parser.add_argument("--timeout", type=float, default=None,
                         metavar="SECONDS",
-                        help="per-entry timeout; needs --jobs >= 2 to be "
-                             "enforceable (the worker is terminated)")
+                        help="per-entry timeout; needs the process backend "
+                             "with --jobs >= 2 to be enforceable (the "
+                             "worker is terminated)")
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="persist per-entry results under DIR and skip "
                              "entries whose content and engine config are "
@@ -127,12 +137,37 @@ def build_batch_check_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir: recompute everything and "
                              "do not touch the store")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted sweep from the partial "
+                             "state in --cache-dir: repair the store file "
+                             "if the kill truncated it, then compute only "
+                             "the entries whose fingerprints are missing "
+                             "(the rest report as 'cached')")
+    parser.add_argument("--merge", nargs="+", metavar="DIR",
+                        dest="merge_dirs", default=None,
+                        help="merge mode: combine the shard run stores in "
+                             "the given directories into --cache-dir and "
+                             "report the merged sweep instead of executing "
+                             "anything (verdict records win fingerprint "
+                             "conflicts; per-entry provenance is kept)")
+    parser.add_argument("--cache-gc", metavar="SPEC", dest="cache_gc",
+                        default=None,
+                        help="after the sweep (or merge), evict old records "
+                             "from the --cache-dir store; SPEC is "
+                             "entries=N and/or age=AGE[s|m|h|d], e.g. "
+                             "entries=1000,age=7d")
     parser.add_argument("--json", metavar="PATH", dest="json_path",
                         default=None,
                         help="write the full sweep result (same schema as "
-                             "the run store) as JSON to PATH, or '-' for "
-                             "stdout; with --list, write the corpus listing "
-                             "instead")
+                             "the run store, header records engine/backend/"
+                             "shard) as JSON to PATH, or '-' for stdout; "
+                             "with --list, write the corpus listing instead")
+    parser.add_argument("--stable-json", metavar="PATH",
+                        dest="stable_json_path", default=None,
+                        help="write the timing- and provenance-free stable "
+                             "view of the sweep result to PATH ('-' for "
+                             "stdout): byte-identical across backends, job "
+                             "counts, cache states and shard merges")
     parser.add_argument("--write-dir", metavar="DIR", default=None,
                         help="additionally materialise the .g files of the "
                              "checked entries under DIR (shard- and "
@@ -255,7 +290,9 @@ def batch_check_main(argv: List[str]) -> int:
         ShardSpec,
         SweepPlan,
         SweepRunner,
+        backends,
         parse_family_spec,
+        parse_gc_spec,
     )
 
     parser = build_batch_check_parser()
@@ -267,6 +304,17 @@ def batch_check_main(argv: List[str]) -> int:
         else:
             _print_corpus_listing()
         return 0
+
+    if (arguments.resume or arguments.merge_dirs or arguments.cache_gc) \
+            and not arguments.cache_dir:
+        parser.error("--resume, --merge and --cache-gc require --cache-dir")
+    if arguments.no_cache and (arguments.resume or arguments.merge_dirs
+                               or arguments.cache_gc):
+        parser.error("--no-cache conflicts with --resume/--merge/--cache-gc")
+    for directory in (arguments.merge_dirs or ()):
+        if not os.path.isdir(directory):
+            parser.error(f"--merge: no such run-store directory "
+                         f"{directory!r}")
 
     try:
         config = api.EngineConfig(
@@ -281,9 +329,14 @@ def batch_check_main(argv: List[str]) -> int:
                       for spec in arguments.families],
             config=config,
             jobs=arguments.jobs,
-            shard=ShardSpec.parse(arguments.shard))
+            shard=ShardSpec.parse(arguments.shard),
+            backend=arguments.backend)
+        if arguments.backend is not None:
+            backends.get(arguments.backend)  # unknown name -> usage error
+        gc_keywords = (parse_gc_spec(arguments.cache_gc)
+                       if arguments.cache_gc else None)
         plan.tasks()  # expand now: bad family names/scales become usage
-    except (PlanError, api.ApiError) as error:
+    except (PlanError, api.ApiError, ValueError) as error:
         parser.error(str(error))  # errors here, not tracebacks mid-sweep
         return 2
 
@@ -294,7 +347,12 @@ def batch_check_main(argv: List[str]) -> int:
     if arguments.cache_dir and not arguments.no_cache:
         store = RunStore(arguments.cache_dir)
 
-    sweep = SweepRunner(plan, store=store).run()
+    if arguments.merge_dirs is not None:
+        sweep = _merge_sweep(store, arguments.merge_dirs, plan)
+    else:
+        if arguments.resume and store.skipped_lines:
+            store.compact()  # repair what the killed sweep left behind
+        sweep = SweepRunner(plan, store=store).run()
 
     width = max((len(result.name) for result in sweep), default=1)
     for result in sweep:
@@ -303,12 +361,55 @@ def batch_check_main(argv: List[str]) -> int:
           f"{sweep.matching} matching the registry metadata, "
           f"{sweep.mismatching} mismatching, {sweep.errors} errors, "
           f"{sweep.cached} cached "
-          f"[engine: {plan.engine}, jobs: {plan.jobs}, "
-          f"shard: {plan.shard}]")
+          f"[engine: {plan.engine}, backend: {sweep.backend}, "
+          f"jobs: {plan.jobs}, shard: {plan.shard}]")
+
+    if gc_keywords:
+        evicted = store.gc(**gc_keywords)
+        print(f"cache-gc: evicted {evicted} of {evicted + len(store)} "
+              f"records from {store.directory}")
 
     if arguments.json_path:
         _write_json(sweep.to_json_dict(), arguments.json_path)
+    if arguments.stable_json_path:
+        _write_json(sweep.stable_json_dict(), arguments.stable_json_path)
     return 0 if sweep.succeeded else 1
+
+
+def _merge_sweep(store, merge_dirs: List[str], plan):
+    """The ``--merge`` verb: combine shard stores, report the merged sweep.
+
+    Every source store is merged into ``store`` (the ``--cache-dir``
+    destination), then the plan's tasks are answered entirely from the
+    merged records -- nothing is executed.  Entries no shard computed (or
+    that only failed) surface as ``error`` results, so a merge of
+    incomplete shards fails loudly instead of silently shrinking the
+    sweep.  Each served entry keeps the provenance stamped by the shard
+    that computed it.
+    """
+    from repro.runner import EntryResult, SweepResult
+
+    adopted_total = 0
+    for directory in merge_dirs:
+        adopted = store.merge(directory, compact=False)
+        adopted_total += adopted
+        print(f"merge: adopted {adopted} records from {directory}")
+    if adopted_total:
+        store.compact()  # once, after every source is in
+
+    results = []
+    for task in plan.shard_tasks():
+        hit = store.lookup(task.name, task.fingerprint)
+        if hit is None:
+            hit = EntryResult(
+                name=task.name, status="error", engine=task.engine,
+                fingerprint=task.fingerprint,
+                error="no verdict for this fingerprint in the merged "
+                      "stores (shard missing or entry failed everywhere)")
+        results.append(hit)
+    return SweepResult(engine=plan.engine, jobs=plan.jobs,
+                       shard=str(plan.shard), backend="merge",
+                       results=results)
 
 
 def _write_json(payload: dict, path: str) -> None:

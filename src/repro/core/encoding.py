@@ -171,14 +171,22 @@ class SymbolicEncoding:
         return self._force_order()
 
     def _co_occurrence_groups(self) -> List[List[str]]:
-        """Hyperedges: the variables touched by each transition."""
+        """Hyperedges: the variables touched by each transition.
+
+        Pre/post-sets are hash-ordered sets; the members are sorted so the
+        FORCE accumulator sums its floats in a fixed order.  Without this
+        the computed variable order -- and with it every traversal
+        statistic -- varies between interpreter processes
+        (PYTHONHASHSEED), which would break the cross-machine
+        byte-identity contract of the sweep runner's stable results.
+        """
         groups: List[List[str]] = []
         stg = self.stg
         for transition in stg.net.transitions:
             group = [self.place_variable(p)
-                     for p in stg.net.preset_of_transition(transition)]
+                     for p in sorted(stg.net.preset_of_transition(transition))]
             group += [self.place_variable(p)
-                      for p in stg.net.postset_of_transition(transition)]
+                      for p in sorted(stg.net.postset_of_transition(transition))]
             try:
                 label = stg.label_of(transition)
             except Exception:  # unlabelled transition in a plain net

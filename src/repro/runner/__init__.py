@@ -17,14 +17,23 @@ The moving parts:
   -- declarative sweep description, deterministic task expansion,
   round-robin :class:`~repro.runner.plan.ShardSpec` partitioning and the
   content fingerprints that key the cache;
-* :mod:`~repro.runner.worker` -- self-contained task execution in a
-  subprocess, every in-check failure reported as an ``error`` result;
+* :mod:`~repro.runner.backends` -- the pluggable execution layer: an
+  :class:`~repro.runner.backends.ExecutorBackend` registry with
+  ``process`` (worker pool, per-entry timeouts), ``thread`` and
+  ``serial`` built-ins, all producing byte-identical stable results;
+* :mod:`~repro.runner.worker` -- self-contained task execution, every
+  in-check failure reported as an ``error`` result;
 * :class:`~repro.runner.store.RunStore` -- append-only JSONL persistence
-  of entry results, fingerprint-validated cache hits;
-* :class:`~repro.runner.runner.SweepRunner` -- cache triage, the bounded
-  worker pool with per-entry timeouts, deterministic result ordering.
+  of entry results, fingerprint-validated cache hits, shard-store
+  :meth:`~repro.runner.store.RunStore.merge` and
+  :meth:`~repro.runner.store.RunStore.gc` eviction;
+* :class:`~repro.runner.runner.SweepRunner` -- cache triage, backend
+  dispatch, incremental persistence (resumable sweeps), deterministic
+  result ordering.
 """
 
+from repro.runner import backends
+from repro.runner.backends import ExecutorBackend, UnknownBackendError
 from repro.runner.plan import (
     PlanError,
     ShardSpec,
@@ -34,17 +43,22 @@ from repro.runner.plan import (
 )
 from repro.runner.results import EntryResult, SweepResult
 from repro.runner.runner import SweepRunner, run_sweep
-from repro.runner.store import RunStore
+from repro.runner.store import RunStore, RunStoreWarning, parse_gc_spec
 
 __all__ = [
     "EntryResult",
+    "ExecutorBackend",
     "PlanError",
     "RunStore",
+    "RunStoreWarning",
     "ShardSpec",
     "SweepPlan",
     "SweepRunner",
     "SweepTask",
     "SweepResult",
+    "UnknownBackendError",
+    "backends",
     "parse_family_spec",
+    "parse_gc_spec",
     "run_sweep",
 ]

@@ -204,6 +204,11 @@ class SweepPlan:
     config: EngineConfig = field(default_factory=EngineConfig)
     jobs: int = 1
     shard: ShardSpec = field(default_factory=ShardSpec)
+    #: Execution backend name (see :mod:`repro.runner.backends`);
+    #: ``None`` leaves the choice to the runner (``process`` by
+    #: default).  An execution knob like ``jobs``: deliberately not part
+    #: of task fingerprints -- verdicts do not depend on who executes.
+    backend: Optional[str] = None
     _expanded: Optional[List[SweepTask]] = field(
         default=None, init=False, repr=False, compare=False)
 

@@ -42,6 +42,13 @@ class EntryResult:
     #: being recomputed (never persisted as True: the cache stores the
     #: original computation).
     cached: bool = False
+    #: Execution provenance stamped by the runner -- which backend and
+    #: shard computed this result.  Persisted with the record and kept
+    #: through :meth:`~repro.runner.store.RunStore.merge`, so a report
+    #: assembled from N shard stores still says where each entry ran.
+    #: Excluded from :meth:`stable_dict` (provenance, like timing, must
+    #: not break cross-backend byte-identity).
+    provenance: Optional[Dict[str, str]] = None
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:
@@ -87,6 +94,8 @@ class EntryResult:
             "error": self.error,
             "duration": self.duration,
             "cached": self.cached,
+            "provenance": (dict(self.provenance)
+                           if self.provenance is not None else None),
         }
 
     @classmethod
@@ -101,7 +110,8 @@ class EntryResult:
             mismatches=list(data.get("mismatches") or []),
             error=data.get("error"),
             duration=float(data.get("duration") or 0.0),
-            cached=bool(data.get("cached", False)))
+            cached=bool(data.get("cached", False)),
+            provenance=data.get("provenance"))
 
     def stable_dict(self) -> Dict[str, object]:
         """The timing-free view: identical across worker counts and cache
@@ -110,6 +120,7 @@ class EntryResult:
         data = self.to_dict()
         del data["duration"]
         del data["cached"]
+        del data["provenance"]
         if data["report"] is not None:
             data["report"] = dict(data["report"])
             data["report"]["timings"] = None
@@ -123,6 +134,10 @@ class SweepResult:
     engine: str
     jobs: int
     shard: str
+    #: Name of the execution backend that ran the sweep (``merge`` for
+    #: reports assembled from merged shard stores; each entry's
+    #: ``provenance`` then records the backend that actually computed it).
+    backend: str = "process"
     results: List[EntryResult] = field(default_factory=list)
 
     def __iter__(self):
@@ -160,6 +175,7 @@ class SweepResult:
             "engine": self.engine,
             "jobs": self.jobs,
             "shard": self.shard,
+            "backend": self.backend,
             "total": len(self.results),
             "matching": self.matching,
             "mismatching": self.mismatching,
@@ -170,7 +186,9 @@ class SweepResult:
 
     def stable_json_dict(self) -> Dict[str, object]:
         """Timing-free view for determinism comparisons (see
-        :meth:`EntryResult.stable_dict`); also independent of ``jobs``."""
+        :meth:`EntryResult.stable_dict`); also independent of ``jobs``,
+        ``backend`` and cache state -- the cross-backend and shard-merge
+        byte-identity contract the tests and the CI gate compare."""
         return {
             "engine": self.engine,
             "shard": self.shard,

@@ -1,38 +1,34 @@
-"""The sweep orchestrator: cache triage, worker pool, result collection.
+"""The sweep orchestrator: cache triage, backend dispatch, collection.
 
 :class:`SweepRunner` executes one :class:`~repro.runner.plan.SweepPlan`
 shard end to end:
 
 1. **Cache triage** -- every task whose ``(name, fingerprint)`` has a
    valid record in the :class:`~repro.runner.store.RunStore` is served
-   from the cache (marked ``cached``) and never scheduled.
-2. **Execution** -- the remaining tasks run either in-process
-   (``jobs=1``: zero overhead, exceptions still captured per entry) or on
-   a pool of ``jobs`` worker processes, one process per task, bounded
-   concurrency.  Per-process isolation is what makes per-entry timeouts
-   enforceable (the scheduler terminates the worker) and worker crashes
-   reportable without losing the sweep.
-3. **Collection** -- results are stored back into the RunStore and
-   returned in plan order, so the output is deterministic regardless of
-   worker count or completion order.
+   from the cache (marked ``cached``) and never scheduled.  This is also
+   what makes an interrupted sweep resumable: rerunning the same plan
+   against the same store only schedules the missing fingerprints.
+2. **Execution** -- the remaining tasks run on the selected
+   :class:`~repro.runner.backends.ExecutorBackend` (``process`` worker
+   pool by default, ``thread`` or ``serial`` in-process variants, or any
+   registered plug-in), bounded by ``jobs``.
+3. **Collection** -- every result is persisted into the RunStore *as it
+   completes* (a killed sweep keeps everything already finished), stamped
+   with its execution provenance (backend, shard), and returned in plan
+   order, so the output is deterministic regardless of backend, worker
+   count or completion order.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import time
-from collections import deque
-from typing import Callable, List, Optional
+import threading
+from typing import Callable, List, Optional, Union
 
-from repro.runner.plan import SweepPlan, SweepTask
+from repro.runner import backends as backend_registry
+from repro.runner.backends import ExecutorBackend
+from repro.runner.plan import SweepPlan
 from repro.runner.results import EntryResult, SweepResult
 from repro.runner.store import RunStore
-from repro.runner.worker import child_main, execute_payload
-
-#: Seconds the scheduler sleeps when no worker has produced anything.
-_POLL_INTERVAL = 0.005
-#: Grace period for draining the result pipe of an already-exited worker.
-_EXIT_DRAIN_TIMEOUT = 0.05
 
 ProgressCallback = Callable[[EntryResult], None]
 
@@ -40,16 +36,24 @@ ProgressCallback = Callable[[EntryResult], None]
 class SweepRunner:
     """Execute one sweep plan shard, optionally against a result cache.
 
-    ``progress`` (when given) is invoked with every finished
+    ``backend`` selects the execution backend -- a registered name, an
+    :class:`~repro.runner.backends.ExecutorBackend` instance, or ``None``
+    to use the plan's ``backend`` (falling back to the ``process``
+    default).  ``progress`` (when given) is invoked with every finished
     :class:`EntryResult` as it becomes available -- cache hits first, then
     computed results in completion order.
     """
 
     def __init__(self, plan: SweepPlan, store: Optional[RunStore] = None,
-                 progress: Optional[ProgressCallback] = None) -> None:
+                 progress: Optional[ProgressCallback] = None,
+                 backend: Union[ExecutorBackend, str, None] = None) -> None:
         self.plan = plan
         self.store = store
         self.progress = progress
+        self.backend = backend_registry.resolve(backend or plan.backend)
+        # Backends may emit from worker threads; everything the runner
+        # mutates on emit (results, store, progress) happens under this.
+        self._emit_lock = threading.Lock()
 
     def run(self) -> SweepResult:
         tasks = self.plan.shard_tasks()
@@ -57,7 +61,7 @@ class SweepRunner:
 
         # NB: RunStore has __len__, so an empty store is falsy -- every
         # store test here must be an identity check, not truthiness.
-        fresh: List[int] = []
+        fresh: List[backend_registry.WorkItem] = []
         for position, task in enumerate(tasks):
             cached = (self.store.lookup(task.name, task.fingerprint)
                       if self.store is not None else None)
@@ -65,133 +69,46 @@ class SweepRunner:
                 results[position] = cached
                 self._report_progress(cached)
             else:
-                fresh.append(position)
+                fresh.append((position, task))
 
         if fresh:
-            if self.plan.jobs == 1:
-                self._run_sequential(tasks, fresh, results)
-            else:
-                self._run_parallel(tasks, fresh, results)
-
-        if self.store is not None:
-            for position in fresh:
-                self.store.put(results[position])
+            self.backend.execute(fresh, self.plan.jobs,
+                                 self._make_emit(results))
 
         return SweepResult(
             engine=self.plan.engine, jobs=self.plan.jobs,
-            shard=str(self.plan.shard), results=list(results))
+            shard=str(self.plan.shard), backend=self.backend.name,
+            results=list(results))
+
+    def _make_emit(self, results: List[Optional[EntryResult]]):
+        """The collection callback handed to the backend.
+
+        Stamps execution provenance, persists the result immediately (so
+        a killed sweep loses only in-flight tasks, not finished ones) and
+        forwards it to the progress callback -- all under the emit lock,
+        because thread backends call this concurrently.
+        """
+        provenance = {"backend": self.backend.name,
+                      "shard": str(self.plan.shard)}
+        def emit(position: int, result: EntryResult) -> None:
+            result.provenance = dict(provenance)
+            with self._emit_lock:
+                results[position] = result
+                if self.store is not None:
+                    self.store.put(result)
+                self._report_progress(result)
+        return emit
 
     def _report_progress(self, result: EntryResult) -> None:
         if self.progress is not None:
             self.progress(result)
 
-    # ------------------------------------------------------------------
-    # In-process execution (jobs=1)
-    # ------------------------------------------------------------------
-    def _run_sequential(self, tasks: List[SweepTask], fresh: List[int],
-                        results: List[Optional[EntryResult]]) -> None:
-        """Run tasks in this process.
-
-        Entry-level failures are still captured by the worker module;
-        per-entry timeouts need process isolation and are not enforced
-        here (documented CLI behaviour: timeouts require ``--jobs >= 2``).
-        """
-        for position in fresh:
-            result = EntryResult.from_dict(
-                execute_payload(tasks[position].to_payload()))
-            results[position] = result
-            self._report_progress(result)
-
-    # ------------------------------------------------------------------
-    # Worker-pool execution (jobs>=2)
-    # ------------------------------------------------------------------
-    def _run_parallel(self, tasks: List[SweepTask], fresh: List[int],
-                      results: List[Optional[EntryResult]]) -> None:
-        context = multiprocessing.get_context(
-            "fork" if "fork" in multiprocessing.get_all_start_methods()
-            else "spawn")
-        pending = deque(fresh)
-        active: List[dict] = []
-        try:
-            while pending or active:
-                while pending and len(active) < self.plan.jobs:
-                    active.append(self._start_worker(
-                        context, pending.popleft(), tasks))
-                progressed = False
-                for slot in list(active):
-                    result = self._poll_worker(slot)
-                    if result is None:
-                        continue
-                    results[slot["position"]] = result
-                    self._report_progress(result)
-                    active.remove(slot)
-                    progressed = True
-                if not progressed:
-                    time.sleep(_POLL_INTERVAL)
-        finally:
-            for slot in active:  # interrupted sweep: don't leak workers
-                slot["process"].terminate()
-                slot["process"].join()
-                slot["connection"].close()
-
-    def _start_worker(self, context, position: int,
-                      tasks: List[SweepTask]) -> dict:
-        task = tasks[position]
-        receiver, sender = context.Pipe(duplex=False)
-        process = context.Process(
-            target=child_main, args=(sender, task.to_payload()), daemon=True)
-        process.start()
-        sender.close()  # the child holds the only write end now
-        deadline = (time.monotonic() + task.timeout
-                    if task.timeout is not None else None)
-        return {"position": position, "task": task, "process": process,
-                "connection": receiver, "deadline": deadline}
-
-    def _poll_worker(self, slot: dict) -> Optional[EntryResult]:
-        """Collect a finished/failed/expired worker; ``None`` if running."""
-        process, connection = slot["process"], slot["connection"]
-        task: SweepTask = slot["task"]
-        if connection.poll(0):
-            result = self._receive(slot)
-        elif not process.is_alive():
-            # Exited without a visible result: drain the pipe once more
-            # (the write may still be in flight), then report the crash.
-            if connection.poll(_EXIT_DRAIN_TIMEOUT):
-                result = self._receive(slot)
-            else:
-                result = self._failure(
-                    task, "error",
-                    f"worker exited with code {process.exitcode} "
-                    f"before reporting a result")
-        elif slot["deadline"] is not None \
-                and time.monotonic() > slot["deadline"]:
-            process.terminate()
-            result = self._failure(
-                task, "timeout", f"timed out after {task.timeout:g}s "
-                f"(worker terminated)")
-        else:
-            return None
-        process.join()
-        connection.close()
-        return result
-
-    def _receive(self, slot: dict) -> EntryResult:
-        try:
-            return EntryResult.from_dict(slot["connection"].recv())
-        except (EOFError, OSError) as error:
-            return self._failure(
-                slot["task"], "error",
-                f"worker result pipe closed unexpectedly: {error}")
-
-    @staticmethod
-    def _failure(task: SweepTask, status: str, message: str) -> EntryResult:
-        return EntryResult(
-            name=task.name, status=status, engine=task.engine,
-            fingerprint=task.fingerprint, error=message)
-
 
 def run_sweep(plan: SweepPlan, cache_dir: Optional[str] = None,
-              progress: Optional[ProgressCallback] = None) -> SweepResult:
+              progress: Optional[ProgressCallback] = None,
+              backend: Union[ExecutorBackend, str, None] = None
+              ) -> SweepResult:
     """Convenience front door: build the store (if any) and run the plan."""
     store = RunStore(cache_dir) if cache_dir else None
-    return SweepRunner(plan, store=store, progress=progress).run()
+    return SweepRunner(plan, store=store, progress=progress,
+                       backend=backend).run()

@@ -1,13 +1,18 @@
 """Worker-side execution of one sweep task.
 
-A worker receives a :meth:`~repro.runner.plan.SweepTask.to_payload` dict
--- plain data, no registry access needed -- parses the canonical ``.g``
-text, runs the requested engine and ships an
-:class:`~repro.runner.results.EntryResult` dict back through its pipe.
-Everything that can go wrong inside the check (parse errors, engine
-exceptions) is caught and reported as an ``error`` result, so one
+:func:`execute_payload` is the single execution primitive every
+:mod:`~repro.runner.backends` backend is built on: it takes a
+:meth:`~repro.runner.plan.SweepTask.to_payload` dict -- plain data, no
+registry access needed -- parses the canonical ``.g`` text, runs the
+requested engine and returns an
+:class:`~repro.runner.results.EntryResult` dict.  The ``serial`` and
+``thread`` backends call it in-process (it keeps no module state, so
+concurrent calls are safe); the ``process`` backend wraps it in
+:func:`child_main`, which ships the result dict back through the worker's
+pipe.  Everything that can go wrong inside the check (parse errors,
+engine exceptions) is caught and reported as an ``error`` result, so one
 poisoned entry never kills the sweep; only the process-level failures
-(crash, timeout) are handled by the parent scheduler.
+(crash, timeout) are handled by the pool scheduler.
 
 Both :func:`execute_payload` and :func:`child_main` are module-level
 functions so they pickle under every multiprocessing start method.

@@ -160,8 +160,15 @@ def _parse_initial_values(rest: str) -> Dict[str, bool]:
 
 
 def _build_graph(stg: STG, graph_lines: List[List[str]]) -> None:
-    tokens = {token for line in graph_lines for token in line}
-    place_names = {t for t in tokens if not _is_transition_token(t)}
+    # First-appearance document order, deduplicated.  Declaration order
+    # fixes the net's transition and place lists, which downstream fix
+    # the traversal's firing order and the BDD variable order -- a set
+    # here would make every run's traversal statistics depend on the
+    # interpreter's hash seed, breaking the sweep runner's cross-process
+    # byte-identity contract.
+    tokens = list(dict.fromkeys(
+        token for line in graph_lines for token in line))
+    place_names = [t for t in tokens if not _is_transition_token(t)]
     # Declare every transition and every explicit place first.
     for token in tokens:
         if _is_transition_token(token):

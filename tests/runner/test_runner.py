@@ -164,6 +164,61 @@ class TestResultCache:
         assert by_name["poisoned"].status == "error"
 
 
+class TestResume:
+    """Interrupted sweeps: incremental persistence + fingerprint triage."""
+
+    class Kill(RuntimeError):
+        """Stands in for SIGKILL mid-sweep."""
+
+    def killed_sweep(self, plan, store, survivors):
+        """Run ``plan`` but die after ``survivors`` results (serial
+        backend: the kill point is deterministic)."""
+        seen = []
+
+        def die_after(result):
+            seen.append(result)
+            if len(seen) >= survivors:
+                raise self.Kill
+
+        with pytest.raises(self.Kill):
+            SweepRunner(plan, store=store, progress=die_after,
+                        backend="serial").run()
+
+    def test_results_persist_incrementally(self, tmp_path):
+        store = RunStore(str(tmp_path))
+        self.killed_sweep(SweepPlan(names=SELECTION), store, survivors=3)
+        # Everything finished before the kill is already on disk.
+        assert len(RunStore(str(tmp_path))) == 3
+
+    def test_resume_computes_only_the_missing_fingerprints(self, tmp_path):
+        plan = SweepPlan(names=SELECTION)
+        self.killed_sweep(plan, RunStore(str(tmp_path)), survivors=3)
+        resumed = SweepRunner(plan, store=RunStore(str(tmp_path))).run()
+        assert [r.name for r in resumed if r.cached] == SELECTION[:3]
+        assert [r.name for r in resumed if not r.cached] == SELECTION[3:]
+        # The resumed sweep is indistinguishable from an uninterrupted one.
+        assert stable_json(resumed) == stable_json(run_sweep(plan))
+
+    def test_resume_survives_a_truncated_trailing_record(self, tmp_path):
+        import os
+
+        from repro.runner import RunStoreWarning
+        from repro.runner.store import RESULTS_FILE
+
+        plan = SweepPlan(names=SELECTION)
+        self.killed_sweep(plan, RunStore(str(tmp_path)), survivors=3)
+        path = os.path.join(str(tmp_path), RESULTS_FILE)
+        with open(path, encoding="utf-8") as handle:
+            content = handle.read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content + content.splitlines()[-1][:50])
+        with pytest.warns(RunStoreWarning):
+            store = RunStore(str(tmp_path))
+        resumed = SweepRunner(plan, store=store).run()
+        assert sum(1 for r in resumed if r.cached) == 3
+        assert resumed.succeeded
+
+
 class TestFamilySweeps:
     @pytest.mark.smoke
     def test_family_scale_range_sweep(self):

@@ -327,3 +327,203 @@ class TestBatchCheckRunnerFlags:
         assert written == ["handshake.g", "random_ring@1.g"]
         assert (tmp_path / "handshake.g").read_text() == \
             corpus.g_text("handshake")
+
+
+class TestBatchCheckBackends:
+    """The execution-backend flag and its error paths."""
+
+    @pytest.mark.parametrize("backend", ["process", "thread", "serial"])
+    def test_every_builtin_backend_sweeps(self, backend, capsys):
+        assert main(["batch-check", "handshake", "vme_read",
+                     "--backend", backend, "--jobs", "2"]) == 0
+        assert f"backend: {backend}" in capsys.readouterr().out
+
+    def test_unknown_backend_exits_2_with_did_you_mean(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch-check", "handshake", "--backend", "thraed"])
+        assert excinfo.value.code == 2
+        assert "did you mean: thread" in capsys.readouterr().err
+
+    def test_backends_print_identical_verdict_lines(self, capsys):
+        outputs = {}
+        for backend in ("process", "thread", "serial"):
+            assert main(["batch-check", "handshake", "inconsistent",
+                         "--backend", backend]) == 0
+            outputs[backend] = "\n".join(
+                line for line in capsys.readouterr().out.splitlines()
+                if not line.startswith("batch-check:"))
+        assert outputs["process"] == outputs["thread"] == outputs["serial"]
+
+    def test_json_header_records_backend_and_shard(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main(["batch-check", "handshake", "--backend", "thread",
+                     "--shard", "0/2", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["backend"] == "thread"
+        assert payload["shard"] == "0/2"
+        assert payload["entries"][0]["provenance"] == {
+            "backend": "thread", "shard": "0/2"}
+
+    def test_stable_json_has_no_provenance_or_timing(self, tmp_path,
+                                                     capsys):
+        path = tmp_path / "stable.json"
+        assert main(["batch-check", "handshake", "--backend", "thread",
+                     "--stable-json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert "backend" not in payload
+        entry = payload["entries"][0]
+        assert "provenance" not in entry
+        assert "duration" not in entry and "cached" not in entry
+
+
+class TestBatchCheckMergeAndResume:
+    """Distribution flags: --merge, --resume, --cache-gc."""
+
+    SELECTION = ["handshake", "vme_read", "mutex_element", "inconsistent"]
+
+    def shard_stores(self, tmp_path, count=2):
+        stores = []
+        for index in range(count):
+            store = str(tmp_path / f"shard-{index}")
+            stores.append(store)
+            assert main(["batch-check", *self.SELECTION,
+                         "--shard", f"{index}/{count}",
+                         "--cache-dir", store]) in (0, 1)
+        return stores
+
+    def test_merge_reproduces_the_unsharded_sweep(self, tmp_path, capsys):
+        stores = self.shard_stores(tmp_path)
+        capsys.readouterr()
+        merged_path = tmp_path / "merged.json"
+        assert main(["batch-check", *self.SELECTION,
+                     "--merge", *stores,
+                     "--cache-dir", str(tmp_path / "merged"),
+                     "--stable-json", str(merged_path)]) == 0
+        output = capsys.readouterr().out
+        assert "backend: merge" in output
+        assert "adopted" in output
+        reference_path = tmp_path / "reference.json"
+        assert main(["batch-check", *self.SELECTION,
+                     "--stable-json", str(reference_path)]) == 0
+        assert merged_path.read_bytes() == reference_path.read_bytes()
+
+    def test_merge_preserves_per_entry_provenance(self, tmp_path, capsys):
+        stores = self.shard_stores(tmp_path)
+        report_path = tmp_path / "merged-report.json"
+        assert main(["batch-check", *self.SELECTION,
+                     "--merge", *stores,
+                     "--cache-dir", str(tmp_path / "merged"),
+                     "--json", str(report_path)]) == 0
+        payload = json.loads(report_path.read_text())
+        shards = {entry["name"]: entry["provenance"]["shard"]
+                  for entry in payload["entries"]}
+        # Round-robin 0/2 owns positions 0 and 2, shard 1/2 the rest.
+        assert shards["handshake"] == "0/2"
+        assert shards["vme_read"] == "1/2"
+        assert shards["mutex_element"] == "0/2"
+
+    def test_merge_reports_missing_entries_as_errors(self, tmp_path,
+                                                     capsys):
+        store = str(tmp_path / "shard-0")
+        assert main(["batch-check", *self.SELECTION, "--shard", "0/2",
+                     "--cache-dir", store]) == 0
+        capsys.readouterr()
+        # Merging only shard 0 of 2: the odd positions never ran.
+        assert main(["batch-check", *self.SELECTION,
+                     "--merge", store,
+                     "--cache-dir", str(tmp_path / "merged")]) == 1
+        output = capsys.readouterr().out
+        assert "2 errors" in output
+        assert "no verdict for this fingerprint" in output
+
+    def test_merge_requires_cache_dir(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch-check", "handshake", "--merge", str(tmp_path)])
+        assert excinfo.value.code == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_resume_requires_cache_dir(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch-check", "handshake", "--resume"])
+        assert excinfo.value.code == 2
+
+    def test_resume_conflicts_with_no_cache(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch-check", "handshake", "--resume", "--no-cache",
+                  "--cache-dir", str(tmp_path)])
+        assert excinfo.value.code == 2
+
+    def test_resume_repairs_a_truncated_store_and_skips_done_work(
+            self, tmp_path, capsys):
+        import warnings
+
+        from repro.runner.store import RESULTS_FILE
+
+        cache = str(tmp_path / "cache")
+        assert main(["batch-check", "handshake", "vme_read",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        path = tmp_path / "cache" / RESULTS_FILE
+        content = path.read_text()
+        path.write_text(content + content.splitlines()[-1][:40])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")  # the repair is the point
+            assert main(["batch-check", "handshake", "vme_read",
+                         "inconsistent", "--cache-dir", cache,
+                         "--resume"]) == 0
+        assert "2 cached" in capsys.readouterr().out
+        # The store file is whole again: reloading warns about nothing.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            from repro.runner import RunStore
+            assert len(RunStore(cache)) == 3
+
+    def test_cache_gc_evicts_and_reports(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["batch-check", *self.SELECTION,
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["batch-check", "handshake", "--cache-dir", cache,
+                     "--cache-gc", "entries=2"]) == 0
+        assert "cache-gc: evicted 2" in capsys.readouterr().out
+        from repro.runner import RunStore
+        assert len(RunStore(cache)) == 2
+
+    def test_invalid_cache_gc_spec_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch-check", "handshake",
+                  "--cache-dir", str(tmp_path), "--cache-gc", "bogus"])
+        assert excinfo.value.code == 2
+
+    def test_cache_gc_requires_cache_dir(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch-check", "handshake", "--cache-gc", "entries=1"])
+        assert excinfo.value.code == 2
+
+
+class TestBatchCheckGcAndMergeGuards:
+    """Regression guards: pre-flight validation beats mid-sweep crashes."""
+
+    def test_cache_gc_conflicts_with_no_cache(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch-check", "handshake", "--cache-dir", str(tmp_path),
+                  "--no-cache", "--cache-gc", "entries=1"])
+        assert excinfo.value.code == 2
+
+    def test_negative_cache_gc_bound_exits_2_before_the_sweep(
+            self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch-check", "handshake",
+                  "--cache-dir", str(tmp_path), "--cache-gc", "entries=-1"])
+        assert excinfo.value.code == 2
+        # The sweep never ran: the verdict table is absent.
+        assert "handshake " not in capsys.readouterr().out
+
+    def test_merge_of_a_nonexistent_store_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch-check", "handshake",
+                  "--merge", str(tmp_path / "typo"),
+                  "--cache-dir", str(tmp_path / "merged")])
+        assert excinfo.value.code == 2
+        assert "no such run-store directory" in capsys.readouterr().err
+        assert not (tmp_path / "typo").exists()

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""The sweep gate: backend parity + shard/merge reproduction, locally.
+
+This is the off-GitHub mirror of the ``sweep`` and ``merge`` jobs of
+``.github/workflows/ci.yml`` (``make ci`` runs it after lint and tests),
+so the distributed-sweep contract is checkable on any machine:
+
+1. **Backend parity** -- the same plan swept on every registered built-in
+   backend (``process``, ``thread``, ``serial``) must produce
+   byte-identical stable JSON (``batch-check --stable-json``).
+2. **Shard/merge reproduction** -- the corpus swept as four separate
+   ``--shard i/4`` runs (rotating through the backends, each into its
+   own run store) and recombined with ``batch-check --merge`` must
+   reproduce the unsharded reference sweep byte for byte.
+
+Every ``batch-check`` call is a real subprocess with a *different*
+``PYTHONHASHSEED``, so the gate also proves the stable output is
+independent of interpreter hash randomisation -- the property that makes
+cross-machine sharding sound.
+
+Exit status: 0 when every comparison holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+BACKENDS = ("process", "thread", "serial")
+#: Backend used by shard i of the 4-way partition (each backend at least
+#: once, mirroring the CI matrix).
+SHARD_BACKENDS = ("process", "thread", "serial", "process")
+
+
+def batch_check(arguments, seed):
+    """Run ``python -m repro batch-check ...`` in a fresh interpreter."""
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = (
+        os.path.join(REPO_ROOT, "src")
+        + (os.pathsep + environment["PYTHONPATH"]
+           if environment.get("PYTHONPATH") else ""))
+    environment["PYTHONHASHSEED"] = str(seed)
+    command = [sys.executable, "-m", "repro", "batch-check", *arguments]
+    completed = subprocess.run(
+        command, env=environment, cwd=REPO_ROOT,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    if completed.returncode != 0:
+        print(completed.stdout)
+        raise SystemExit(
+            f"sweep-gate: {' '.join(command)} exited "
+            f"{completed.returncode}")
+    return completed.stdout
+
+
+def read(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def check_backend_parity(workdir):
+    print("sweep-gate: backend parity "
+          f"({', '.join(BACKENDS)}, full corpus) ...")
+    outputs = {}
+    for seed, backend in enumerate(BACKENDS, start=1):
+        path = os.path.join(workdir, f"backend-{backend}.json")
+        batch_check(["--backend", backend, "--jobs", "2",
+                     "--stable-json", path], seed=seed)
+        outputs[backend] = read(path)
+    reference = outputs[BACKENDS[0]]
+    for backend in BACKENDS[1:]:
+        if outputs[backend] != reference:
+            print(f"sweep-gate: FAIL: backend {backend!r} stable JSON "
+                  f"differs from {BACKENDS[0]!r}")
+            return False
+    print(f"sweep-gate: ok: {len(BACKENDS)} backends byte-identical "
+          f"({len(reference)} bytes of stable JSON)")
+    return True
+
+
+def check_shard_merge(workdir):
+    print("sweep-gate: 4-way shard sweep + merge vs unsharded "
+          "reference ...")
+    stores = []
+    for index, backend in enumerate(SHARD_BACKENDS):
+        store = os.path.join(workdir, f"shard-{index}")
+        stores.append(store)
+        batch_check(["--shard", f"{index}/4", "--jobs", "2",
+                     "--backend", backend, "--cache-dir", store],
+                    seed=100 + index)
+    merged_path = os.path.join(workdir, "merged.json")
+    batch_check(["--merge", *stores,
+                 "--cache-dir", os.path.join(workdir, "merged-store"),
+                 "--stable-json", merged_path], seed=200)
+    reference_path = os.path.join(workdir, "reference.json")
+    batch_check(["--stable-json", reference_path], seed=300)
+    if read(merged_path) != read(reference_path):
+        print("sweep-gate: FAIL: merged shard stores do not reproduce "
+              "the unsharded reference sweep")
+        return False
+    print("sweep-gate: ok: merge of 4 shard stores reproduces the "
+          "unsharded sweep byte for byte")
+    return True
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="repro-sweep-gate-")
+    try:
+        passed = check_backend_parity(workdir)
+        passed = check_shard_merge(workdir) and passed
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    if not passed:
+        return 1
+    print("sweep-gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
