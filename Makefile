@@ -11,7 +11,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check ci lint test test-ci smoke sweep-gate bench
+.PHONY: check ci lint test test-ci smoke sweep-gate bench bench-pytest
 
 check: lint test smoke
 
@@ -33,5 +33,10 @@ smoke:
 sweep-gate:
 	$(PYTHON) tools/sweep_gate.py
 
+# The tracked benchmark harness: kernel rows + cold/warm --bdd-cache
+# sweep, written to BENCH_sweep.json (mirrors the non-gating CI job).
 bench:
+	$(PYTHON) tools/bench.py --quick
+
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks --benchmark-only

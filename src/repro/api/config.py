@@ -56,6 +56,14 @@ class EngineConfig:
     timeout:
         Per-entry wall-clock budget in seconds (an execution knob: it is
         excluded from cache fingerprints).
+    bdd_cache_dir:
+        Directory of the persistent reachable-set cache
+        (:class:`repro.cache.BDDStore`); the symbolic engine serves the
+        reachable BDD from it instead of traversing when the entry's
+        reachability fingerprint matches.  An execution knob like
+        ``timeout``: where a run caches can never change what it
+        computes, so the field is excluded from result-cache
+        fingerprints.
     commutativity_fallback_states:
         State bound under which the symbolic engine falls back to the
         explicit commutativity check when fake conflicts are present.
@@ -68,6 +76,7 @@ class EngineConfig:
     initial_values: Optional[Tuple[Tuple[str, bool], ...]] = None
     arbitration_places: Tuple[str, ...] = ()
     timeout: Optional[float] = None
+    bdd_cache_dir: Optional[str] = None
     commutativity_fallback_states: int = 10_000
 
     def __post_init__(self) -> None:
@@ -133,6 +142,7 @@ class EngineConfig:
             "initial_values": self.initial_values_dict,
             "arbitration_places": list(self.arbitration_places),
             "timeout": self.timeout,
+            "bdd_cache_dir": self.bdd_cache_dir,
             "commutativity_fallback_states":
                 self.commutativity_fallback_states,
         }

@@ -21,6 +21,7 @@ if their root identifiers are equal.
 from __future__ import annotations
 
 import weakref
+from itertools import islice
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 FALSE_ID = 0
@@ -46,9 +47,12 @@ class BDDManager:
         Variables can also be added later with :meth:`add_var`; new
         variables are appended at the end of the order.
     cache_limit:
-        Soft limit on the number of entries in the operation caches.  When
-        exceeded the caches are cleared (simple but effective for the
-        workloads of this project).
+        Soft limit on the number of entries in each operation cache.
+        When a cache exceeds the limit its *oldest-inserted half* is
+        evicted (generational eviction by insertion order -- hits do not
+        refresh an entry, so this is FIFO by creation, not LRU).  Recent
+        generations survive instead of being thrown away wholesale, so
+        long sweeps stop paying a full cold-cache rebuild per overflow.
 
     Examples
     --------
@@ -71,16 +75,38 @@ class BDDManager:
         # Variable order.
         self._var2level: Dict[str, int] = {}
         self._level2var: List[str] = []
-        # Operation caches.
+        # Operation caches.  Every binary connective has its own table
+        # with its own terminal short-circuits (see apply_and & friends);
+        # the derived operators of repro.bdd.operators get dedicated
+        # memoisation tables as well, so a flood of e.g. conjunctions can
+        # never evict the cofactor results the image computation lives on.
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
         self._not_cache: Dict[int, int] = {}
+        self._and_cache: Dict[Tuple[int, int], int] = {}
+        self._or_cache: Dict[Tuple[int, int], int] = {}
+        self._xor_cache: Dict[Tuple[int, int], int] = {}
+        self._diff_cache: Dict[Tuple[int, int], int] = {}
         self._op_cache: Dict[Tuple, int] = {}
+        self._cof_cache: Dict[Tuple[int, int], int] = {}
+        self._quant_cache: Dict[Tuple[bool, int, int], int] = {}
+        self._andex_cache: Dict[Tuple[int, int, int], int] = {}
+        self._evictable = (
+            self._ite_cache, self._and_cache, self._or_cache,
+            self._xor_cache, self._diff_cache, self._op_cache,
+            self._cof_cache, self._quant_cache, self._andex_cache)
+        # Interning table turning the frozensets that parameterise the
+        # derived operators (quantified level sets, cofactor cubes, ...)
+        # into small integers, so their cache keys hash in O(1).
+        self._key_ids: Dict[object, int] = {}
         self._cache_limit = cache_limit
         # Live function handles (for garbage collection roots).
         self._roots: "weakref.WeakSet" = weakref.WeakSet()
         # Statistics.
         self.gc_count = 0
         self.created_nodes = 2
+        self.cache_lookups = 0
+        self.cache_hits = 0
+        self.cache_evictions = 0
         if variables is not None:
             for name in variables:
                 self.add_var(name)
@@ -220,8 +246,11 @@ class BDDManager:
         if g == TRUE_ID and h == FALSE_ID:
             return f
         key = (f, g, h)
-        cached = self._ite_cache.get(key)
+        cache = self._ite_cache
+        self.cache_lookups += 1
+        cached = cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return cached
         level = min(self._level[f], self._level[g], self._level[h])
         f0, f1 = self._cofactors_at(f, level)
@@ -230,8 +259,9 @@ class BDDManager:
         low = self.ite(f0, g0, h0)
         high = self.ite(f1, g1, h1)
         result = self._mk(level, low, high)
-        self._maybe_trim_caches()
-        self._ite_cache[key] = result
+        if len(cache) >= self._cache_limit:
+            self._evict_oldest(cache)
+        cache[key] = result
         return result
 
     def _cofactors_at(self, node: int, level: int) -> Tuple[int, int]:
@@ -257,29 +287,144 @@ class BDDManager:
         self._not_cache[node] = result
         return result
 
+    def _apply_children(self, f: int, g: int) -> Tuple[int, int, int, int, int]:
+        """Top level and the four cofactors of a binary apply step."""
+        level_f = self._level[f]
+        level_g = self._level[g]
+        if level_f <= level_g:
+            level = level_f
+            f0, f1 = self._low[f], self._high[f]
+        else:
+            level = level_g
+            f0 = f1 = f
+        if level_g <= level_f:
+            g0, g1 = self._low[g], self._high[g]
+        else:
+            g0 = g1 = g
+        return level, f0, f1, g0, g1
+
     def apply_and(self, f: int, g: int) -> int:
-        """Conjunction on node identifiers."""
-        return self.ite(f, g, FALSE_ID)
+        """Conjunction on node identifiers (specialised, own cache)."""
+        if f == g:
+            return f
+        if f == FALSE_ID or g == FALSE_ID:
+            return FALSE_ID
+        if f == TRUE_ID:
+            return g
+        if g == TRUE_ID:
+            return f
+        if f > g:  # commutative: canonical operand order halves the cache
+            f, g = g, f
+        key = (f, g)
+        cache = self._and_cache
+        self.cache_lookups += 1
+        cached = cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        level, f0, f1, g0, g1 = self._apply_children(f, g)
+        low = self.apply_and(f0, g0)
+        high = self.apply_and(f1, g1)
+        result = self._mk(level, low, high)
+        if len(cache) >= self._cache_limit:
+            self._evict_oldest(cache)
+        cache[key] = result
+        return result
 
     def apply_or(self, f: int, g: int) -> int:
-        """Disjunction on node identifiers."""
-        return self.ite(f, TRUE_ID, g)
+        """Disjunction on node identifiers (specialised, own cache)."""
+        if f == g:
+            return f
+        if f == TRUE_ID or g == TRUE_ID:
+            return TRUE_ID
+        if f == FALSE_ID:
+            return g
+        if g == FALSE_ID:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        cache = self._or_cache
+        self.cache_lookups += 1
+        cached = cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        level, f0, f1, g0, g1 = self._apply_children(f, g)
+        low = self.apply_or(f0, g0)
+        high = self.apply_or(f1, g1)
+        result = self._mk(level, low, high)
+        if len(cache) >= self._cache_limit:
+            self._evict_oldest(cache)
+        cache[key] = result
+        return result
 
     def apply_xor(self, f: int, g: int) -> int:
-        """Exclusive or on node identifiers."""
-        return self.ite(f, self.negate(g), g)
+        """Exclusive or on node identifiers (specialised, own cache)."""
+        if f == g:
+            return FALSE_ID
+        if f == FALSE_ID:
+            return g
+        if g == FALSE_ID:
+            return f
+        if f == TRUE_ID:
+            return self.negate(g)
+        if g == TRUE_ID:
+            return self.negate(f)
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        cache = self._xor_cache
+        self.cache_lookups += 1
+        cached = cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        level, f0, f1, g0, g1 = self._apply_children(f, g)
+        low = self.apply_xor(f0, g0)
+        high = self.apply_xor(f1, g1)
+        result = self._mk(level, low, high)
+        if len(cache) >= self._cache_limit:
+            self._evict_oldest(cache)
+        cache[key] = result
+        return result
 
     def apply_diff(self, f: int, g: int) -> int:
-        """Difference ``f · g'`` on node identifiers."""
-        return self.ite(f, self.negate(g), FALSE_ID)
+        """Difference ``f · g'`` on node identifiers (specialised).
+
+        This is the frontier subtraction the Figure 5 traversal performs
+        on every image, so it gets its own cache and short-circuits
+        instead of paying a negation plus a generic ``ite``.
+        """
+        if f == FALSE_ID or g == TRUE_ID or f == g:
+            return FALSE_ID
+        if g == FALSE_ID:
+            return f
+        if f == TRUE_ID:
+            return self.negate(g)
+        key = (f, g)
+        cache = self._diff_cache
+        self.cache_lookups += 1
+        cached = cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        level, f0, f1, g0, g1 = self._apply_children(f, g)
+        low = self.apply_diff(f0, g0)
+        high = self.apply_diff(f1, g1)
+        result = self._mk(level, low, high)
+        if len(cache) >= self._cache_limit:
+            self._evict_oldest(cache)
+        cache[key] = result
+        return result
 
     def apply_implies(self, f: int, g: int) -> int:
         """Implication ``f' + g`` on node identifiers."""
-        return self.ite(f, g, TRUE_ID)
+        return self.negate(self.apply_diff(f, g))
 
     def apply_iff(self, f: int, g: int) -> int:
         """Equivalence on node identifiers."""
-        return self.ite(f, g, self.negate(g))
+        return self.negate(self.apply_xor(f, g))
 
     # ------------------------------------------------------------------
     # Cube helpers
@@ -315,17 +460,57 @@ class BDDManager:
     # ------------------------------------------------------------------
     # Cache / memory management
     # ------------------------------------------------------------------
-    def _maybe_trim_caches(self) -> None:
-        if len(self._ite_cache) > self._cache_limit:
-            self._ite_cache.clear()
-        if len(self._op_cache) > self._cache_limit:
-            self._op_cache.clear()
+    def _evict_oldest(self, cache: Dict) -> None:
+        """Generational eviction: drop the oldest-*inserted* half.
+
+        Dictionaries iterate in insertion order, so the first half of the
+        keys are the entries created longest ago (hits do not reorder --
+        deliberately: probes stay a plain ``get``, at the cost of FIFO
+        rather than true LRU eviction).  Keeping the newer generation
+        bounds memory like the old clear-everything policy did, without
+        the repeated full cold-cache rebuilds.
+        """
+        drop = len(cache) - self._cache_limit // 2
+        for key in list(islice(iter(cache), drop)):
+            del cache[key]
+        self.cache_evictions += 1
+
+    def intern_key(self, key: object) -> int:
+        """Intern a hashable operation parameter to a small integer.
+
+        The derived operators of :mod:`repro.bdd.operators` are
+        parameterised by frozensets (quantified level sets, cofactor
+        cubes); hashing those on every cache probe is where a naive
+        memoisation spends its time.  Interning gives each distinct
+        parameter a small id, so cache keys are plain integer tuples.
+        """
+        ident = self._key_ids.get(key)
+        if ident is None:
+            ident = len(self._key_ids)
+            self._key_ids[key] = ident
+        return ident
 
     def clear_caches(self) -> None:
         """Drop every memoisation table (does not drop nodes)."""
-        self._ite_cache.clear()
+        for cache in self._evictable:
+            cache.clear()
         self._not_cache.clear()
-        self._op_cache.clear()
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Aggregate operation-cache statistics (monotonic counters).
+
+        ``lookups``/``hits`` count every probe of a memoisation table
+        (the specialised binary applies, ``ite`` and the derived
+        operators all report here); ``evictions`` counts generational
+        half-evictions; ``entries`` is the current live entry total.
+        """
+        return {
+            "lookups": self.cache_lookups,
+            "hits": self.cache_hits,
+            "evictions": self.cache_evictions,
+            "entries": (sum(len(cache) for cache in self._evictable)
+                        + len(self._not_cache)),
+        }
 
     def collect_garbage(self) -> int:
         """Remove nodes unreachable from any live :class:`Function` handle.

@@ -1,8 +1,12 @@
 """Derived BDD operations: quantification, cofactors, composition, renaming.
 
 All functions here take and return :class:`~repro.bdd.function.Function`
-handles.  They memoise their recursion in the manager's shared operation
-cache, keyed by an operation tag so different operations never collide.
+handles.  Each operation memoises its recursion in a dedicated cache on
+the manager (quantification, cofactor and the relational product each
+own one; composition shares the generic ``_op_cache``), keyed by the
+node id plus a small interned id of the operation parameter
+(:meth:`~repro.bdd.manager.BDDManager.intern_key`) -- so cache probes
+hash integer tuples instead of re-hashing frozensets on every visit.
 """
 
 from __future__ import annotations
@@ -30,7 +34,9 @@ def exist(f: Function, variables: Sequence[str]) -> Function:
     levels = _levels_of(manager, variables)
     if not levels:
         return f
-    result = _quantify(manager, f.node, levels, conjunction=False)
+    key_id = manager.intern_key(("quant", levels))
+    result = _quantify(manager, f.node, levels, max(levels), key_id,
+                       conjunction=False)
     return manager._wrap(result)
 
 
@@ -40,33 +46,41 @@ def forall(f: Function, variables: Sequence[str]) -> Function:
     levels = _levels_of(manager, variables)
     if not levels:
         return f
-    result = _quantify(manager, f.node, levels, conjunction=True)
+    key_id = manager.intern_key(("quant", levels))
+    result = _quantify(manager, f.node, levels, max(levels), key_id,
+                       conjunction=True)
     return manager._wrap(result)
 
 
 def _quantify(manager: BDDManager, node: int, levels: FrozenSet[int],
-              conjunction: bool) -> int:
+              top: int, key_id: int, conjunction: bool) -> int:
     if manager.is_terminal(node):
         return node
     level = manager.node_level(node)
-    if level > max(levels):
+    if level > top:
         # Every quantified variable is above this node: nothing to abstract.
         return node
-    key = ("quant", conjunction, node, levels)
-    cached = manager._op_cache.get(key)
+    cache = manager._quant_cache
+    key = (conjunction, node, key_id)
+    manager.cache_lookups += 1
+    cached = cache.get(key)
     if cached is not None:
+        manager.cache_hits += 1
         return cached
-    low = _quantify(manager, manager.node_low(node), levels, conjunction)
-    high = _quantify(manager, manager.node_high(node), levels, conjunction)
+    low = _quantify(manager, manager.node_low(node), levels, top, key_id,
+                    conjunction)
+    high = _quantify(manager, manager.node_high(node), levels, top, key_id,
+                     conjunction)
     if level in levels:
         if conjunction:
             result = manager.apply_and(low, high)
         else:
             result = manager.apply_or(low, high)
     else:
-        result = manager.ite(
-            manager._mk(level, FALSE_ID, TRUE_ID), high, low)
-    manager._op_cache[key] = result
+        result = manager._mk(level, low, high)
+    if len(cache) >= manager._cache_limit:
+        manager._evict_oldest(cache)
+    cache[key] = result
     return result
 
 
@@ -76,39 +90,48 @@ def and_exist(f: Function, g: Function, variables: Sequence[str]) -> Function:
     if g.manager is not manager:
         raise ValueError("cannot combine functions from different managers")
     levels = _levels_of(manager, variables)
-    result = _and_exist(manager, f.node, g.node, levels)
+    key_id = manager.intern_key(("andex", levels))
+    result = _and_exist(manager, f.node, g.node, levels, key_id)
     return manager._wrap(result)
 
 
 def _and_exist(manager: BDDManager, f: int, g: int,
-               levels: FrozenSet[int]) -> int:
+               levels: FrozenSet[int], key_id: int) -> int:
     if f == FALSE_ID or g == FALSE_ID:
         return FALSE_ID
     if f == TRUE_ID and g == TRUE_ID:
         return TRUE_ID
     if f == TRUE_ID or g == TRUE_ID:
         single = g if f == TRUE_ID else f
-        return _quantify(manager, single, levels, conjunction=False) \
-            if levels else single
-    key = ("andex", min(f, g), max(f, g), levels)
-    cached = manager._op_cache.get(key)
+        if not levels:
+            return single
+        quant_id = manager.intern_key(("quant", levels))
+        return _quantify(manager, single, levels, max(levels), quant_id,
+                         conjunction=False)
+    cache = manager._andex_cache
+    key = (min(f, g), max(f, g), key_id)
+    manager.cache_lookups += 1
+    cached = cache.get(key)
     if cached is not None:
+        manager.cache_hits += 1
         return cached
     level = min(manager.node_level(f), manager.node_level(g))
     f0, f1 = manager._cofactors_at(f, level)
     g0, g1 = manager._cofactors_at(g, level)
     if level in levels:
-        low = _and_exist(manager, f0, g0, levels)
+        low = _and_exist(manager, f0, g0, levels, key_id)
         if low == TRUE_ID:
             result = TRUE_ID
         else:
-            high = _and_exist(manager, f1, g1, levels)
+            high = _and_exist(manager, f1, g1, levels, key_id)
             result = manager.apply_or(low, high)
     else:
-        low = _and_exist(manager, f0, g0, levels)
-        high = _and_exist(manager, f1, g1, levels)
+        low = _and_exist(manager, f0, g0, levels, key_id)
+        high = _and_exist(manager, f1, g1, levels, key_id)
         result = manager._mk(level, low, high) if low != high else low
-    manager._op_cache[key] = result
+    if len(cache) >= manager._cache_limit:
+        manager._evict_oldest(cache)
+    cache[key] = result
     return result
 
 
@@ -127,31 +150,38 @@ def cofactor(f: Function, literals: Dict[str, bool]) -> Function:
         return f
     assignment = {manager.level_of(name): bool(value)
                   for name, value in literals.items()}
-    frozen = frozenset(assignment.items())
-    result = _cofactor(manager, f.node, assignment, frozen)
+    key_id = manager.intern_key(("cof", frozenset(assignment.items())))
+    result = _cofactor(manager, f.node, assignment, max(assignment), key_id)
     return manager._wrap(result)
 
 
 def _cofactor(manager: BDDManager, node: int,
-              assignment: Dict[int, bool], frozen: FrozenSet) -> int:
+              assignment: Dict[int, bool], top: int, key_id: int) -> int:
     if manager.is_terminal(node):
         return node
     level = manager.node_level(node)
-    if level > max(assignment):
+    if level > top:
         return node
-    key = ("cof", node, frozen)
-    cached = manager._op_cache.get(key)
+    cache = manager._cof_cache
+    key = (node, key_id)
+    manager.cache_lookups += 1
+    cached = cache.get(key)
     if cached is not None:
+        manager.cache_hits += 1
         return cached
     if level in assignment:
         child = (manager.node_high(node) if assignment[level]
                  else manager.node_low(node))
-        result = _cofactor(manager, child, assignment, frozen)
+        result = _cofactor(manager, child, assignment, top, key_id)
     else:
-        low = _cofactor(manager, manager.node_low(node), assignment, frozen)
-        high = _cofactor(manager, manager.node_high(node), assignment, frozen)
+        low = _cofactor(manager, manager.node_low(node), assignment, top,
+                        key_id)
+        high = _cofactor(manager, manager.node_high(node), assignment, top,
+                         key_id)
         result = manager._mk(level, low, high) if low != high else low
-    manager._op_cache[key] = result
+    if len(cache) >= manager._cache_limit:
+        manager._evict_oldest(cache)
+    cache[key] = result
     return result
 
 
@@ -178,27 +208,32 @@ def compose(f: Function, substitutions: Dict[str, Function]) -> Function:
         if g.manager is not manager:
             raise ValueError("substitution functions must share the manager")
         by_level[manager.level_of(name)] = g.node
-    frozen = frozenset(by_level.items())
-    result = _compose(manager, f.node, by_level, frozen)
+    key_id = manager.intern_key(("compose", frozenset(by_level.items())))
+    result = _compose(manager, f.node, by_level, key_id)
     return manager._wrap(result)
 
 
 def _compose(manager: BDDManager, node: int, by_level: Dict[int, int],
-             frozen: FrozenSet) -> int:
+             key_id: int) -> int:
     if manager.is_terminal(node):
         return node
-    key = ("compose", node, frozen)
-    cached = manager._op_cache.get(key)
+    cache = manager._op_cache
+    key = (node, key_id)
+    manager.cache_lookups += 1
+    cached = cache.get(key)
     if cached is not None:
+        manager.cache_hits += 1
         return cached
     level = manager.node_level(node)
-    low = _compose(manager, manager.node_low(node), by_level, frozen)
-    high = _compose(manager, manager.node_high(node), by_level, frozen)
+    low = _compose(manager, manager.node_low(node), by_level, key_id)
+    high = _compose(manager, manager.node_high(node), by_level, key_id)
     replacement = by_level.get(level)
     if replacement is None:
         replacement = manager._mk(level, FALSE_ID, TRUE_ID)
     result = manager.ite(replacement, high, low)
-    manager._op_cache[key] = result
+    if len(cache) >= manager._cache_limit:
+        manager._evict_oldest(cache)
+    cache[key] = result
     return result
 
 

@@ -76,9 +76,19 @@ def load(stream: TextIO,
     A fresh manager with the stored variable order is created unless an
     existing one (already containing all stored variables) is supplied.
     """
-    header = stream.readline().strip()
+    header_line = stream.readline()
+    if not header_line:
+        raise BDDError("empty stream: not a bdd-serialized file")
+    header = header_line.strip()
     if header != FORMAT_HEADER:
-        raise BDDError(f"unrecognised header {header!r}")
+        tag, _, version = header.partition(" ")
+        if tag == "bdd-serialized":
+            raise BDDError(
+                f"unsupported bdd-serialized format version {version!r}; "
+                f"this build reads {FORMAT_HEADER!r}")
+        raise BDDError(
+            f"unrecognised header {header!r}: not a bdd-serialized "
+            f"stream (expected {FORMAT_HEADER!r})")
     vars_line = stream.readline().split()
     if not vars_line or vars_line[0] != "vars":
         raise BDDError("missing 'vars' line")
@@ -101,8 +111,13 @@ def load(stream: TextIO,
         if parts[0] == "node":
             if len(parts) != 5:
                 raise BDDError(f"malformed node line: {line!r}")
-            old_id, variable, low, high = (int(parts[1]), parts[2],
-                                           int(parts[3]), int(parts[4]))
+            try:
+                old_id, variable, low, high = (int(parts[1]), parts[2],
+                                               int(parts[3]), int(parts[4]))
+            except ValueError as exc:
+                raise BDDError(
+                    f"malformed node line (non-integer id): {line!r}"
+                ) from exc
             try:
                 new_low = translation[low]
                 new_high = translation[high]
@@ -114,7 +129,10 @@ def load(stream: TextIO,
             variable_node = manager.var(variable).node
             translation[old_id] = manager.ite(variable_node, new_high, new_low)
         elif parts[0] == "root":
-            old_id = int(parts[1])
+            try:
+                old_id = int(parts[1])
+            except (IndexError, ValueError) as exc:
+                raise BDDError(f"malformed root line: {line!r}") from exc
             if old_id not in translation:
                 raise BDDError(f"root {old_id} was never defined")
             roots.append(manager._wrap(translation[old_id]))

@@ -1,0 +1,71 @@
+"""Persistent BDD caching: reachable-set reuse across runs and scales.
+
+This package hosts the :class:`~repro.cache.bddstore.BDDStore` -- the
+sibling of the sweep runner's result cache that persists the reachable
+BDD per specification -- and :func:`bind_pipeline`, which wires a store
+into a :class:`~repro.core.pipeline.VerificationPipeline` so the
+traversal is skipped on a hit, warm-started on a family miss, and
+persisted after a cold run::
+
+    from repro.cache import BDDStore, bind_pipeline
+
+    store = BDDStore(".repro-bdd-cache")
+    pipeline = VerificationPipeline(stg)
+    bind_pipeline(pipeline, store, name=stg.name, config=config)
+    pipeline.run(checks=("csc",))   # traversal served from the store
+
+The CLI exposes the store as ``--bdd-cache DIR`` (both on single checks
+and on ``batch-check`` sweeps, where every worker binds its pipeline
+through :class:`~repro.api.config.EngineConfig.bdd_cache_dir`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.bddstore import (
+    BDD_SCHEMA_VERSION,
+    BDDStore,
+    BDDStoreWarning,
+    reachable_fingerprint,
+)
+
+__all__ = [
+    "BDD_SCHEMA_VERSION",
+    "BDDStore",
+    "BDDStoreWarning",
+    "bind_pipeline",
+    "reachable_fingerprint",
+]
+
+
+def bind_pipeline(pipeline, store: BDDStore, name: str, config,
+                  g_text: Optional[str] = None) -> str:
+    """Attach a :class:`BDDStore` to a pipeline's reachability hooks.
+
+    ``config`` is the run's :class:`~repro.api.config.EngineConfig`;
+    ``g_text`` is the canonical ``.g`` text (serialised from the
+    pipeline's STG when omitted -- the writer is deterministic, so both
+    spellings fingerprint identically).  Returns the reachability
+    fingerprint the store entry is keyed by.
+    """
+    from repro.stg.writer import to_g_string
+
+    if g_text is None:
+        g_text = to_g_string(pipeline.stg)
+    fingerprint = reachable_fingerprint(g_text, config)
+
+    def provider(p):
+        hit = store.lookup(name, fingerprint, p.encoding.manager)
+        if hit is not None:
+            return hit
+        # Miss: maybe pre-build structure from a smaller family scale.
+        p.warm_handle = store.warm_start(name, p.encoding.manager)
+        return None
+
+    def consumer(p, reached, stats):
+        store.put(name, fingerprint, reached, stats)
+
+    pipeline.reached_provider = provider
+    pipeline.reached_consumer = consumer
+    return fingerprint

@@ -1,0 +1,261 @@
+"""The persistent reachable-set cache: a BDD store warm-starting sweeps.
+
+A :class:`BDDStore` is the sibling of the sweep runner's
+:class:`~repro.runner.store.RunStore`: where the RunStore persists
+*results* (verdict records served as cache hits), the BDDStore persists
+the expensive *intermediate* -- the reachable-state BDD of the Figure 5
+traversal, serialised with :mod:`repro.bdd.serialize` -- so later runs
+over the same specification skip the traversal entirely even when they
+ask different questions (a different ``--checks`` selection, synthesis,
+liveness extras).
+
+Each entry is one file per specification name, stamped with a
+**reachability fingerprint** (:func:`reachable_fingerprint`): a content
+hash of the canonical ``.g`` text plus exactly the
+:class:`~repro.api.config.EngineConfig` fields the reachable set depends
+on (ordering, traversal strategy, initial-value overrides).  A lookup
+whose fingerprint does not match -- the specification changed, the
+variable order changed -- is a miss and falls back to a cold traversal;
+a corrupt file warns with :class:`BDDStoreWarning` and recomputes
+(mirroring :class:`~repro.runner.store.RunStoreWarning` semantics).
+
+Scalable-family instances (``family@scale`` names) additionally
+**warm-start**: when entry ``family@N`` misses, the store loads the
+nearest smaller scale's reachable set into the traversal's manager
+before the cold traversal runs.  The loaded BDD is *not* used as a state
+set (its states are not necessarily reachable at the new scale -- doing
+so would corrupt verdicts); it only pre-builds shared node structure and
+operation-cache entries, so the traversal result is byte-for-byte the
+cold result, just cheaper to construct.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import time
+import warnings
+from typing import Optional, TextIO, Tuple
+
+from repro.bdd import serialize
+from repro.bdd.function import Function
+from repro.bdd.manager import BDDError, BDDManager
+from repro.core.stats import TraversalStats
+
+#: Bump when the store format or the fingerprint material changes
+#: incompatibly; part of every fingerprint, so old entries invalidate.
+BDD_SCHEMA_VERSION = 1
+
+FORMAT_HEADER = f"bddstore {BDD_SCHEMA_VERSION}"
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9_.@-]")
+
+
+class BDDStoreWarning(UserWarning):
+    """A non-fatal BDD-store problem (e.g. a corrupt entry recomputed)."""
+
+
+def reachable_fingerprint(g_text: str, config) -> str:
+    """Content hash keying one persisted reachable set.
+
+    Covers exactly what the reachable BDD depends on: the canonical
+    ``.g`` text and the reachability-relevant
+    :class:`~repro.api.config.EngineConfig` fields.  Check selection,
+    arbitration places, timeouts and the cache directory itself are
+    deliberately excluded -- they change what is *asked about* the
+    reachable set, never the set (or its BDD) itself.
+    """
+    material = json.dumps({
+        "schema": BDD_SCHEMA_VERSION,
+        "g_text": g_text,
+        "ordering": config.ordering,
+        "traversal_strategy": config.traversal_strategy,
+        "initial_values": config.initial_values_dict,
+    }, sort_keys=True)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class BDDStore:
+    """File-per-entry persistent cache of serialised reachable BDDs."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.path.abspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        # Effectiveness counters (reported by traversal consumers).
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.warm_starts = 0
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.directory,
+                            _SAFE_NAME.sub("_", name) + ".bdd")
+
+    def __contains__(self, name: str) -> bool:
+        return os.path.exists(self._path(name))
+
+    # ------------------------------------------------------------------
+    # The cache protocol
+    # ------------------------------------------------------------------
+    def lookup(self, name: str, fingerprint: str, manager: BDDManager
+               ) -> Optional[Tuple[Function, TraversalStats]]:
+        """Load the persisted reachable set of ``name`` into ``manager``.
+
+        Returns ``(reached, stats)`` on a hit.  Misses (no entry, or a
+        fingerprint recorded under a different specification content /
+        engine config) return ``None`` silently; corrupt entries warn
+        with :class:`BDDStoreWarning` and return ``None`` so the caller
+        recomputes.
+        """
+        path = self._path(name)
+        if not os.path.exists(path):
+            self.misses += 1
+            return None
+        try:
+            with open(path, encoding="utf-8") as handle:
+                meta = self._read_meta(handle, path)
+                if meta.get("name") != name:
+                    raise BDDError(
+                        f"entry records name {meta.get('name')!r}, "
+                        f"expected {name!r}")
+                if meta.get("fingerprint") != fingerprint:
+                    # Content or engine config changed: a plain
+                    # invalidation, not corruption.
+                    self.invalidations += 1
+                    self.misses += 1
+                    return None
+                reached = self._load_bdd(handle, manager, path,
+                                         require_exact_order=True)
+                stats = TraversalStats.from_dict(meta.get("stats") or {})
+        except (BDDError, ValueError, OSError) as error:
+            warnings.warn(
+                f"{path}: corrupt BDD-store entry ({error}); falling "
+                f"back to a cold traversal", BDDStoreWarning,
+                stacklevel=2)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return reached, stats
+
+    def put(self, name: str, fingerprint: str, reached: Function,
+            stats: TraversalStats) -> None:
+        """Persist one reachable set (atomically: write-temp + rename)."""
+        path = self._path(name)
+        temporary = path + ".tmp"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(FORMAT_HEADER + "\n")
+            handle.write("meta " + json.dumps({
+                "name": name,
+                "fingerprint": fingerprint,
+                "stats": stats.to_dict(),
+                "stored_at": time.time(),
+            }, sort_keys=True) + "\n")
+            serialize.dump([reached], handle)
+        os.replace(temporary, path)
+
+    # ------------------------------------------------------------------
+    # Family warm starts
+    # ------------------------------------------------------------------
+    def warm_start(self, name: str, manager: BDDManager
+                   ) -> Optional[Function]:
+        """Pre-build node structure from the nearest smaller family scale.
+
+        For a ``family@scale`` entry that missed, load the stored
+        reachable set of the largest smaller scale whose variables all
+        exist in ``manager`` (scales of one family share most of their
+        variable names).  Returns the loaded function handle -- the
+        caller should keep it alive while traversing -- or ``None`` when
+        no compatible smaller scale is stored.  Purely structural: the
+        traversal still starts from the initial state, so its result is
+        exactly the cold one.
+        """
+        family = separator = None
+        for candidate_sep in ("@", "_"):  # task names vs STG model names
+            prefix, sep, scale_text = name.rpartition(candidate_sep)
+            if prefix and sep and scale_text.isdigit():
+                family, separator = prefix, sep
+                break
+        if family is None:
+            return None
+        scale = int(scale_text)
+        for candidate in self._smaller_scales(family, separator, scale):
+            path = self._path(f"{family}{separator}{candidate}")
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    self._read_meta(handle, path)
+                    loaded = self._load_bdd(handle, manager, path,
+                                            require_exact_order=False)
+            except (BDDError, ValueError, OSError):
+                continue  # corrupt or incompatible: try the next scale
+            if loaded is not None:
+                self.warm_starts += 1
+                return loaded
+        return None
+
+    def _smaller_scales(self, family: str, separator: str, scale: int):
+        """Stored scales of ``family`` below ``scale``, largest first."""
+        prefix = _SAFE_NAME.sub("_", family) + separator
+        scales = []
+        try:
+            entries = os.listdir(self.directory)
+        except OSError:
+            return []
+        for filename in entries:
+            if not (filename.startswith(prefix)
+                    and filename.endswith(".bdd")):
+                continue
+            scale_text = filename[len(prefix):-len(".bdd")]
+            if scale_text.isdigit() and int(scale_text) < scale:
+                scales.append(int(scale_text))
+        return sorted(scales, reverse=True)
+
+    # ------------------------------------------------------------------
+    # File format helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _read_meta(handle: TextIO, path: str) -> dict:
+        header = handle.readline().strip()
+        if header != FORMAT_HEADER:
+            raise BDDError(f"unrecognised store header {header!r} "
+                           f"(expected {FORMAT_HEADER!r})")
+        meta_line = handle.readline()
+        tag, _, payload = meta_line.partition(" ")
+        if tag != "meta":
+            raise BDDError("missing 'meta' line")
+        meta = json.loads(payload)
+        if not isinstance(meta, dict):
+            raise BDDError("malformed 'meta' payload")
+        return meta
+
+    @staticmethod
+    def _load_bdd(handle: TextIO, manager: BDDManager, path: str,
+                  require_exact_order: bool) -> Optional[Function]:
+        """Load the serialised BDD section into an *existing* manager.
+
+        The stored variable order is checked against the manager before
+        anything is created: an exact-order mismatch on a hit is
+        corruption (the fingerprint pins the order), while a warm start
+        merely requires the stored variables to be a subset of the
+        manager's (returning ``None`` otherwise) so the load can never
+        pollute the encoding's variable order.
+        """
+        position = handle.tell()
+        serialize_header = handle.readline()  # validated by serialize.load
+        vars_line = handle.readline().split()
+        if not vars_line or vars_line[0] != "vars":
+            raise BDDError("missing 'vars' line")
+        stored = vars_line[1:]
+        if require_exact_order:
+            if stored != manager.variables:
+                raise BDDError("stored variable order differs from the "
+                               "encoding's (stale entry)")
+        elif not set(stored).issubset(manager.variables):
+            return None  # incompatible family scale: skip, do not warn
+        del serialize_header
+        handle.seek(position)
+        _, roots = serialize.load(handle, manager=manager)
+        if len(roots) != 1:
+            raise BDDError(f"expected one root, found {len(roots)}")
+        return roots[0]

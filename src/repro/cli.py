@@ -27,6 +27,7 @@ per-property verdict against the registry's expected metadata::
     stg-check batch-check --cache-dir store --resume
     stg-check batch-check --merge shard-0 shard-1 --cache-dir merged
     stg-check batch-check --cache-dir store --cache-gc entries=1000,age=7d
+    stg-check batch-check --bdd-cache bdd-store --checks csc --profile 5
 """
 
 from __future__ import annotations
@@ -75,6 +76,13 @@ def build_argument_parser() -> argparse.ArgumentParser:
                         metavar="PLACE",
                         help="places to treat as arbitration points "
                              "(validated against the STG's actual places)")
+    parser.add_argument("--bdd-cache", metavar="DIR", dest="bdd_cache",
+                        default=None,
+                        help="persist the reachable-state BDD under DIR "
+                             "(symbolic engine); a later run on the same "
+                             "specification -- e.g. with a different "
+                             "--checks selection -- loads it and skips "
+                             "the traversal entirely")
     parser.add_argument("--infer-initial-values", action="store_true",
                         help="infer missing initial signal values before "
                              "checking")
@@ -108,6 +116,12 @@ def build_batch_check_parser() -> argparse.ArgumentParser:
     parser.add_argument("--ordering", choices=list(ORDERING_STRATEGIES),
                         default="force",
                         help="BDD variable ordering strategy (symbolic only)")
+    parser.add_argument("--checks", default=None, metavar="NAMES",
+                        help="comma-separated subset of property checks to "
+                             "run per entry (default: every check the "
+                             "engine supports); the subset is batched over "
+                             "each entry's shared intermediates and keys "
+                             "the result cache")
     parser.add_argument("--family", action="append", default=[],
                         metavar="FAMILY:SCALES", dest="families",
                         help="additionally sweep a scalable family over a "
@@ -134,6 +148,20 @@ def build_batch_check_parser() -> argparse.ArgumentParser:
                         help="persist per-entry results under DIR and skip "
                              "entries whose content and engine config are "
                              "unchanged (reported as 'cached')")
+    parser.add_argument("--bdd-cache", metavar="DIR", dest="bdd_cache",
+                        default=None,
+                        help="persist each entry's reachable-state BDD "
+                             "under DIR (repro.cache.BDDStore): matching "
+                             "entries skip the traversal on later sweeps "
+                             "-- even ones asking different --checks -- "
+                             "and family instances warm-start from the "
+                             "nearest smaller stored scale; verdicts are "
+                             "byte-identical with and without the store")
+    parser.add_argument("--profile", type=int, default=None, metavar="N",
+                        help="after the sweep, print the N slowest entries "
+                             "with their traversal statistics (any "
+                             "backend; durations of cached entries are "
+                             "the original compute times)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir: recompute everything and "
                              "do not touch the store")
@@ -226,7 +254,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         config = api.EngineConfig(
             engine=engine,
             ordering=arguments.ordering,
-            arbitration_places=tuple(arguments.arbitration))
+            arbitration_places=tuple(arguments.arbitration),
+            bdd_cache_dir=arguments.bdd_cache)
         outcome = api.run(stg, config, checks=arguments.checks)
     except api.ApiError as error:
         parser.error(str(error))  # exits with status 2
@@ -320,7 +349,14 @@ def batch_check_main(argv: List[str]) -> int:
         config = api.EngineConfig(
             engine=arguments.engine,
             ordering=arguments.ordering,
-            timeout=arguments.timeout)
+            timeout=arguments.timeout,
+            bdd_cache_dir=arguments.bdd_cache)
+        checks = None
+        if arguments.checks is not None:
+            from repro.api.checks import resolve_checks
+
+            checks = resolve_checks(arguments.checks,
+                                    engine=arguments.engine)
         selection = [_resolve_entry(name, parser).name
                      for name in (arguments.names or corpus.names())]
         plan = SweepPlan(
@@ -328,6 +364,7 @@ def batch_check_main(argv: List[str]) -> int:
             families=[parse_family_spec(spec)
                       for spec in arguments.families],
             config=config,
+            checks=checks,
             jobs=arguments.jobs,
             shard=ShardSpec.parse(arguments.shard),
             backend=arguments.backend)
@@ -363,6 +400,9 @@ def batch_check_main(argv: List[str]) -> int:
           f"{sweep.cached} cached "
           f"[engine: {plan.engine}, backend: {sweep.backend}, "
           f"jobs: {plan.jobs}, shard: {plan.shard}]")
+
+    if arguments.profile:
+        _print_profile(sweep, arguments.profile)
 
     if gc_keywords:
         evicted = store.gc(**gc_keywords)
@@ -495,6 +535,36 @@ def _metadata_value(value: object) -> str:
     if isinstance(value, bool):
         return "yes" if value else "no"
     return str(value)
+
+
+def _print_profile(sweep, count: int) -> None:
+    """The ``--profile N`` report: the N slowest entries with their stats.
+
+    Backend-independent: it reads the per-entry durations and traversal
+    statistics every backend records.  A cached entry shows the duration
+    of the run that originally computed it.
+    """
+    slowest = sorted(sweep, key=lambda result: result.duration,
+                     reverse=True)[:max(count, 0)]
+    if not slowest:
+        return
+    width = max(len(result.name) for result in slowest)
+    print(f"profile: {len(slowest)} slowest entries")
+    for result in slowest:
+        line = (f"  {result.name:<{width}}  {result.duration:8.3f}s "
+                f"[{result.display_status}]")
+        traversal = result.traversal or {}
+        if traversal:
+            lookups = traversal.get("cache_lookups") or 0
+            hits = traversal.get("cache_hits") or 0
+            rate = f"{hits / lookups:.2f}" if lookups else "-"
+            line += (f" traversal={traversal.get('wall_time_s', 0.0):.3f}s"
+                     f" iterations={traversal.get('iterations', 0)}"
+                     f" images={traversal.get('images_computed', 0)}"
+                     f" bdd_peak={traversal.get('peak_nodes', 0)}"
+                     f" live_peak={traversal.get('peak_live_nodes', 0)}"
+                     f" hit_rate={rate}")
+        print(line)
 
 
 def _print_entry_result(result, width: int) -> None:

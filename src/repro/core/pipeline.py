@@ -74,6 +74,15 @@ class VerificationPipeline:
         self.ordering = ordering
         self.traversal_strategy = traversal_strategy
         self.commutativity_fallback_states = commutativity_fallback_states
+        #: Optional hooks of the persistent BDD cache
+        #: (:func:`repro.cache.bind_pipeline`).  The provider may return a
+        #: ``(reached, stats)`` pair to skip the traversal entirely; the
+        #: consumer observes a freshly traversed result (to persist it).
+        self.reached_provider = None
+        self.reached_consumer = None
+        #: Handle pinning warm-start nodes (loaded by a provider) live in
+        #: the manager for the duration of the traversal.
+        self.warm_handle = None
         self._encoding: Optional[SymbolicEncoding] = None
         self._image: Optional[SymbolicImage] = None
         self._reached = None
@@ -101,11 +110,27 @@ class VerificationPipeline:
 
     @property
     def reached(self):
-        """The reachable-state BDD; the traversal runs exactly once."""
+        """The reachable-state BDD; the traversal runs at most once.
+
+        With a bound BDD cache (:func:`repro.cache.bind_pipeline`) the
+        provider is consulted first: a hit adopts the persisted reachable
+        set and its traversal statistics without traversing at all, a
+        miss may still warm-start the manager before the cold traversal,
+        whose result the consumer then persists.
+        """
         if self._reached is None:
+            if self.reached_provider is not None:
+                hit = self.reached_provider(self)
+                if hit is not None:
+                    self._reached, self._traversal_stats = hit
+                    return self._reached
             self._reached, self._traversal_stats = symbolic_traversal(
                 self.encoding, image=self.image,
                 strategy=self.traversal_strategy)
+            self.warm_handle = None  # warm nodes no longer need pinning
+            if self.reached_consumer is not None:
+                self.reached_consumer(self, self._reached,
+                                      self._traversal_stats)
         return self._reached
 
     @property

@@ -20,12 +20,36 @@ class TraversalStats:
     final_nodes: int = 0
     num_variables: int = 0
     num_states: int = 0
+    #: Wall-clock seconds spent inside the traversal (a timing field:
+    #: stripped from the runner's stable comparison views, like every
+    #: duration).
+    wall_time_s: float = 0.0
+    #: Peak number of *live manager nodes* during the traversal -- the
+    #: whole working set (frontiers, images, intermediates), as opposed
+    #: to ``peak_nodes`` which measures only the Reached BDD.
+    peak_live_nodes: int = 0
+    #: Operation-cache probes/hits of the BDD manager attributable to
+    #: this traversal (deltas of the manager's monotonic counters).
+    cache_lookups: int = 0
+    cache_hits: int = 0
 
     def observe_reached(self, nodes: int) -> None:
         """Record the current size of the Reached BDD."""
         if nodes > self.peak_nodes:
             self.peak_nodes = nodes
         self.final_nodes = nodes
+
+    def observe_live_nodes(self, nodes: int) -> None:
+        """Record the current live-node count of the BDD manager."""
+        if nodes > self.peak_live_nodes:
+            self.peak_live_nodes = nodes
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of operation-cache probes that hit (0.0 when unknown)."""
+        if not self.cache_lookups:
+            return 0.0
+        return self.cache_hits / self.cache_lookups
 
     def as_dict(self) -> Dict[str, int]:
         """Short-key row used by the benchmark harness tables."""
@@ -36,6 +60,9 @@ class TraversalStats:
             "bdd_final": self.final_nodes,
             "variables": self.num_variables,
             "states": self.num_states,
+            "wall_s": round(self.wall_time_s, 4),
+            "live_peak": self.peak_live_nodes,
+            "hit_rate": round(self.cache_hit_rate, 4),
         }
 
     # ------------------------------------------------------------------

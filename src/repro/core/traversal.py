@@ -17,6 +17,7 @@ Two chaining strategies are provided:
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.bdd import Function
@@ -68,6 +69,10 @@ def symbolic_traversal(encoding: SymbolicEncoding,
         transitions if transitions is not None else encoding.stg.transitions)
     reached = initial if initial is not None else encoding.initial_state()
     stats = TraversalStats(num_variables=len(encoding.all_variables))
+    manager = encoding.manager
+    base_lookups = manager.cache_lookups
+    base_hits = manager.cache_hits
+    start = time.perf_counter()
     stats.observe_reached(reached.size())
     if observer is not None:
         observer(reached)
@@ -80,6 +85,7 @@ def symbolic_traversal(encoding: SymbolicEncoding,
         else:
             new = _frontier_step(image, transition_list, from_set, stats)
             new = new - reached
+        stats.observe_live_nodes(manager.num_nodes)
         if new.is_false():
             break
         reached = reached | new
@@ -89,6 +95,9 @@ def symbolic_traversal(encoding: SymbolicEncoding,
         from_set = new
     stats.num_states = encoding.count_states(reached)
     stats.final_nodes = reached.size()
+    stats.wall_time_s = time.perf_counter() - start
+    stats.cache_lookups = manager.cache_lookups - base_lookups
+    stats.cache_hits = manager.cache_hits - base_hits
     return reached, stats
 
 

@@ -139,6 +139,11 @@ class SymbolicEngine:
             initial_values=config.initial_values_dict,
             commutativity_fallback_states=config.
             commutativity_fallback_states)
+        if config.bdd_cache_dir:
+            from repro.cache import BDDStore, bind_pipeline
+
+            bind_pipeline(pipeline, BDDStore(config.bdd_cache_dir),
+                          name=stg.name, config=config)
         report = pipeline.run(checks=list(checks))
         traversal = (pipeline.traversal_stats.to_dict()
                      if pipeline.traversal_ran else None)

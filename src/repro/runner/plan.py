@@ -27,8 +27,10 @@ from repro.api.config import EngineConfig
 
 #: Bump when the worker result schema changes incompatibly; part of every
 #: task fingerprint, so a schema change invalidates old cache records.
-#: (2: engine configuration serialised as EngineConfig.to_dict().)
-SCHEMA_VERSION = 2
+#: (2: engine configuration serialised as EngineConfig.to_dict();
+#:  3: the check selection joined the fingerprint material -- a sweep
+#:     running a ``--checks`` subset computes different verdicts.)
+SCHEMA_VERSION = 3
 
 
 class PlanError(ValueError):
@@ -112,6 +114,10 @@ class SweepTask:
     config: EngineConfig = field(default_factory=EngineConfig)
     expected: Mapping[str, object] = field(default_factory=dict)
     delay: float = 0.0
+    #: Property-check selection the worker runs (``None`` = every check
+    #: the engine supports, the historical sweep behaviour).  Part of the
+    #: fingerprint: a subset run computes genuinely different verdicts.
+    checks: Optional[Tuple[str, ...]] = None
 
     @property
     def engine(self) -> str:
@@ -128,15 +134,20 @@ class SweepTask:
         Covers everything that determines the verdict: the canonical
         ``.g`` text, the engine configuration
         (:meth:`~repro.api.config.EngineConfig.to_dict`, minus the
-        execution-knob ``timeout``), the expected metadata the mismatch
-        check runs against, and the result schema version.  Execution
-        knobs (timeout, delay) deliberately do not participate.
+        execution knobs ``timeout`` and ``bdd_cache_dir``), the check
+        selection, the expected metadata the mismatch check runs
+        against, and the result schema version.  Execution knobs
+        (timeout, delay, BDD-cache directory) deliberately do not
+        participate: where and how fast a verdict is computed never
+        changes the verdict.
         """
         config = self.config.to_dict()
         config.pop("timeout", None)
+        config.pop("bdd_cache_dir", None)
         material = json.dumps(
             {"schema": SCHEMA_VERSION, "g_text": self.g_text,
              "config": config,
+             "checks": list(self.checks) if self.checks is not None else None,
              "expected": normalise_expected(self.expected)},
             sort_keys=True)
         return hashlib.sha256(material.encode("utf-8")).hexdigest()
@@ -150,6 +161,7 @@ class SweepTask:
             "expected": normalise_expected(self.expected),
             "fingerprint": self.fingerprint,
             "delay": self.delay,
+            "checks": list(self.checks) if self.checks is not None else None,
         }
 
 
@@ -202,6 +214,11 @@ class SweepPlan:
     names: Sequence[str] = ()
     families: Sequence[Tuple[str, Sequence[int]]] = ()
     config: EngineConfig = field(default_factory=EngineConfig)
+    #: Property-check selection shared by every task (``None`` = every
+    #: check the engine supports); validated by the CLI / facade before
+    #: expansion.  Subset sweeps batch the selected checks over the
+    #: shared intermediates of each entry's one pipeline.
+    checks: Optional[Sequence[str]] = None
     jobs: int = 1
     shard: ShardSpec = field(default_factory=ShardSpec)
     #: Execution backend name (see :mod:`repro.runner.backends`);
@@ -241,6 +258,7 @@ class SweepPlan:
         from repro import corpus
         from repro.stg.writer import to_g_string
 
+        checks = tuple(self.checks) if self.checks is not None else None
         tasks: List[SweepTask] = []
         for name in (self.names or corpus.names()):
             entry = corpus.entry(name)
@@ -248,7 +266,8 @@ class SweepPlan:
                 name=entry.name,
                 g_text=entry.g_text,
                 config=self._task_config(entry.arbitration_places),
-                expected=normalise_expected(entry.expected)))
+                expected=normalise_expected(entry.expected),
+                checks=checks))
         for family_name, scales in self.families:
             try:
                 family = corpus.family(family_name)
@@ -266,7 +285,8 @@ class SweepPlan:
                     name=f"{family.name}@{scale}",
                     g_text=to_g_string(stg),
                     config=self._task_config(arbitration),
-                    expected=normalise_expected(family.expected)))
+                    expected=normalise_expected(family.expected),
+                    checks=checks))
         return tasks
 
     def shard_tasks(self) -> List[SweepTask]:

@@ -24,6 +24,14 @@ from repro.report import ImplementabilityReport
 #: full report; ``error``/``timeout`` carry a message instead.
 STATUSES = ("ok", "mismatch", "error", "timeout")
 
+#: Traversal-statistics fields that vary with execution circumstances
+#: (wall clock, manager working set, operation-cache state/warm starts)
+#: rather than with the verdict; stripped from :meth:`EntryResult.
+#: stable_dict` so stable JSON stays byte-identical across backends,
+#: machines and BDD-cache states.
+VOLATILE_TRAVERSAL_FIELDS = ("wall_time_s", "peak_live_nodes",
+                             "cache_lookups", "cache_hits")
+
 
 @dataclass
 class EntryResult:
@@ -124,6 +132,10 @@ class EntryResult:
         if data["report"] is not None:
             data["report"] = dict(data["report"])
             data["report"]["timings"] = None
+        if data["traversal"] is not None:
+            data["traversal"] = {
+                key: value for key, value in data["traversal"].items()
+                if key not in VOLATILE_TRAVERSAL_FIELDS}
         return data
 
 

@@ -64,15 +64,19 @@ def _check(payload: Dict[str, object]):
 
     The payload's ``config`` dict is replayed as an
     :class:`~repro.api.config.EngineConfig` and executed via
-    :func:`repro.api.run` with every supported check selected, so cached
-    verdicts are always complete regardless of engine.
+    :func:`repro.api.run` with the payload's check selection (every
+    supported check when none was given, so cached verdicts are complete
+    by default; a ``--checks`` subset batches exactly those checks over
+    the entry's shared intermediates).
     """
     from repro import api
     from repro.stg.parser import parse_g
 
     stg = parse_g(str(payload["g_text"]), name=str(payload["name"]))
     config = api.EngineConfig.from_dict(dict(payload.get("config") or {}))
-    outcome = api.run(stg, config, checks=api.ALL)
+    checks = payload.get("checks")
+    outcome = api.run(stg, config,
+                      checks=api.ALL if checks is None else list(checks))
     return outcome.report, outcome.traversal
 
 

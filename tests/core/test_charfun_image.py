@@ -163,3 +163,32 @@ class TestImageSets:
         image = SymbolicImage(encoding)
         assert image.image(encoding.manager.false).is_false()
         assert image.preimage(encoding.manager.false).is_false()
+
+
+class TestBackwardNetFiring:
+    """fire_net_backward inverts fire_net (both read one _FirePlan)."""
+
+    def test_net_backward_recovers_the_source_marking(self):
+        stg = handshake()
+        encoding = SymbolicEncoding(stg)
+        image = SymbolicImage(encoding)
+        source = encoding.marking_minterm(stg.initial_marking())
+        for transition in stg.transitions:
+            forward = image.fire_net(source, transition)
+            if forward.is_false():
+                continue
+            back = image.fire_net_backward(forward, transition)
+            # The source marking is among the predecessors.
+            assert not (back & source).is_false()
+
+    def test_net_backward_of_unreachable_target_is_empty(self):
+        stg = handshake()
+        encoding = SymbolicEncoding(stg)
+        image = SymbolicImage(encoding)
+        # States where no postset place of r+ is marked have no r+
+        # predecessor.
+        place = encoding.place_variable
+        postset = stg.net.postset_of_transition("r+")
+        empty_post = encoding.manager.cube(
+            {place(p): False for p in postset})
+        assert image.fire_net_backward(empty_post, "r+").is_false()

@@ -1,0 +1,41 @@
+"""The traversal-statistics extensions: timing, live nodes, cache rates."""
+
+from repro.core.pipeline import VerificationPipeline
+from repro.core.stats import TraversalStats
+from repro.stg.generators import build_example
+
+
+def traversed_pipeline():
+    pipeline = VerificationPipeline(build_example("muller_pipeline", 5))
+    pipeline.reached
+    return pipeline
+
+
+class TestNewCounters:
+    def test_traversal_populates_the_new_fields(self):
+        stats = traversed_pipeline().traversal_stats
+        assert stats.wall_time_s > 0.0
+        assert stats.peak_live_nodes >= stats.peak_nodes
+        assert stats.cache_lookups > 0
+        assert 0.0 <= stats.cache_hit_rate <= 1.0
+        assert stats.cache_hits <= stats.cache_lookups
+
+    def test_round_trip_preserves_every_field(self):
+        stats = traversed_pipeline().traversal_stats
+        assert TraversalStats.from_dict(stats.to_dict()) == stats
+
+    def test_from_dict_tolerates_records_without_the_new_fields(self):
+        # Records persisted by older kernels keep loading.
+        old = {"iterations": 3, "images_computed": 12, "peak_nodes": 40,
+               "final_nodes": 38, "num_variables": 10, "num_states": 16}
+        stats = TraversalStats.from_dict(old)
+        assert stats.iterations == 3
+        assert stats.wall_time_s == 0.0
+        assert stats.peak_live_nodes == 0
+        assert stats.cache_hit_rate == 0.0
+
+    def test_as_dict_reports_the_harness_columns(self):
+        row = traversed_pipeline().traversal_stats.as_dict()
+        assert row["wall_s"] > 0
+        assert row["live_peak"] > 0
+        assert 0.0 <= row["hit_rate"] <= 1.0

@@ -152,9 +152,11 @@ class TestFingerprints:
         task = SweepPlan(names=["handshake"]).tasks()[0]
         config = task.config.to_dict()
         config.pop("timeout")
+        config.pop("bdd_cache_dir")
         material = json.dumps(
             {"schema": SCHEMA_VERSION, "g_text": task.g_text,
              "config": config,
+             "checks": None,
              "expected": normalise_expected(task.expected)},
             sort_keys=True)
         expected = hashlib.sha256(material.encode("utf-8")).hexdigest()

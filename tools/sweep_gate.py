@@ -12,6 +12,11 @@ so the distributed-sweep contract is checkable on any machine:
    ``--shard i/4`` runs (rotating through the backends, each into its
    own run store) and recombined with ``batch-check --merge`` must
    reproduce the unsharded reference sweep byte for byte.
+3. **BDD-cache parity** -- the same sweep with no ``--bdd-cache``,
+   against a cold BDD store, and against the warm store must produce
+   byte-identical stable JSON: a served reachable set must reproduce
+   the cold verdicts exactly (only timing fields may differ, and those
+   are excluded from the stable view).
 
 Every ``batch-check`` call is a real subprocess with a *different*
 ``PYTHONHASHSEED``, so the gate also proves the stable output is
@@ -107,11 +112,33 @@ def check_shard_merge(workdir):
     return True
 
 
+def check_bdd_cache_parity(workdir):
+    print("sweep-gate: BDD-cache parity (off vs cold vs warm store) ...")
+    store = os.path.join(workdir, "bdd-store")
+    outputs = {}
+    for seed, (label, arguments) in enumerate((
+            ("off", []),
+            ("cold", ["--bdd-cache", store]),
+            ("warm", ["--bdd-cache", store])), start=500):
+        path = os.path.join(workdir, f"bdd-{label}.json")
+        batch_check([*arguments, "--jobs", "2", "--stable-json", path],
+                    seed=seed)
+        outputs[label] = read(path)
+    for label in ("cold", "warm"):
+        if outputs[label] != outputs["off"]:
+            print(f"sweep-gate: FAIL: stable JSON with the {label} BDD "
+                  f"cache differs from the cache-free sweep")
+            return False
+    print("sweep-gate: ok: BDD cache off/cold/warm byte-identical")
+    return True
+
+
 def main():
     workdir = tempfile.mkdtemp(prefix="repro-sweep-gate-")
     try:
         passed = check_backend_parity(workdir)
         passed = check_shard_merge(workdir) and passed
+        passed = check_bdd_cache_parity(workdir) and passed
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
     if not passed:
