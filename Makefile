@@ -1,24 +1,30 @@
 # Developer entry points. `make check` is the everyday gate: lint, the
-# full unit and integration suite (including the cross-engine API-parity
-# tests under tests/api/), plus a real sharded parallel sweep, so the
-# runner path is exercised outside its unit tests on every run.
+# repo-specific static analyzer, the full unit and integration suite
+# (including the cross-engine API-parity tests under tests/api/), plus a
+# real sharded parallel sweep, so the runner path is exercised outside
+# its unit tests on every run.
 #
 # `make ci` mirrors .github/workflows/ci.yml on one machine: lint, the
-# suite with slow-test timings, then the sweep gate (tools/sweep_gate.py)
-# -- every execution backend must produce byte-identical stable JSON and
-# merging four shard stores must reproduce the unsharded sweep.
+# analyzer (python -m tools.analysis -- determinism, schema round-trips,
+# facade purity, registry hygiene), the suite with slow-test timings,
+# then the sweep gate (tools/sweep_gate.py) -- every execution backend
+# must produce byte-identical stable JSON and merging four shard stores
+# must reproduce the unsharded sweep.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check ci lint test test-ci smoke sweep-gate bench bench-pytest
+.PHONY: check ci lint analyze test test-ci smoke sweep-gate bench bench-pytest
 
-check: lint test smoke
+check: lint analyze test smoke
 
-ci: lint test-ci sweep-gate
+ci: lint analyze test-ci sweep-gate
 
 lint:
 	$(PYTHON) tools/lint.py src tests tools
+
+analyze:
+	$(PYTHON) -m tools.analysis src tests tools
 
 test:
 	$(PYTHON) -m pytest -q

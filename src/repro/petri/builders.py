@@ -58,11 +58,14 @@ def net_from_arcs(arcs: Iterable[Tuple[str, str]],
                 net.add_place(node, marking.get(node, 0))
             else:
                 net.add_transition(node)
-    # Declared but unused nodes are still added (isolated).
-    for node in declared_places:
+    # Declared but unused nodes are still added (isolated).  Sorted:
+    # declaration order fixes the net's place/transition lists, which
+    # downstream fix encoding variable order -- set order would leak
+    # PYTHONHASHSEED into them.
+    for node in sorted(declared_places):
         if not net.has_place(node):
             net.add_place(node, marking.get(node, 0))
-    for node in declared_transitions:
+    for node in sorted(declared_transitions):
         if not net.has_transition(node):
             net.add_transition(node)
     for source, target in arcs:

@@ -69,9 +69,11 @@ def incidence_matrix(net: PetriNet) -> Tuple[List[str], List[str], List[List[int
     matrix = [[0] * len(transitions) for _ in places]
     place_index = {p: i for i, p in enumerate(places)}
     for column, transition in enumerate(transitions):
-        for place in net.preset_of_transition(transition):
+        # Pre/post-sets are hash-ordered sets; sorted keeps the update
+        # order (and any future non-commutative use) seed-independent.
+        for place in sorted(net.preset_of_transition(transition)):
             matrix[place_index[place]][column] -= 1
-        for place in net.postset_of_transition(transition):
+        for place in sorted(net.postset_of_transition(transition)):
             matrix[place_index[place]][column] += 1
     return places, transitions, matrix
 

@@ -131,7 +131,8 @@ def infer_initial_values(stg: STG,
                 values[label.signal] = _initial_value_from_first_enabling(
                     stg, reach, label.signal)
                 unknown.discard(label.signal)
-    for signal in unknown:
+    # Sorted: ``values`` insertion order must not leak set order.
+    for signal in sorted(unknown):
         values[signal] = False
     return values
 

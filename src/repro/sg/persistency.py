@@ -78,7 +78,9 @@ def check_signal_persistency(graph: StateGraph, stg: STG,
             successor_marking = stg.net.fire(fired, state.marking)
             still_enabled = {stg.signal_of(t)
                              for t in stg.net.enabled_transitions(successor_marking)}
-            for signal in enabled_signals:
+            # Sorted: the violation list's order is part of the report
+            # (and of stable JSON) -- set order would leak the hash seed.
+            for signal in sorted(enabled_signals):
                 if signal == fired_signal:
                     continue
                 if signal in still_enabled:

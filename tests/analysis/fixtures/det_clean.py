@@ -1,0 +1,42 @@
+"""Non-firing fixtures for the determinism pass: every unordered value
+here is consumed in an order-insensitive way (or laundered through
+``sorted``), and all randomness is explicitly seeded.  The pass must
+report nothing in this file."""
+
+import random
+
+
+def stable_views(net, codes):
+    places = sorted(net.preset_of_transition("t"))       # laundered
+    label = ",".join(str(p) for p in places)             # ordered input
+    width = len(set(codes))                              # len: insensitive
+    lowest = min(set(codes))                             # min: insensitive
+    return places, label, width, lowest
+
+
+def collect(codes):
+    seen = set()
+    for code in codes:
+        seen.add(code)                                   # set.add commutes
+    complete = all(code in seen for code in codes)       # membership only
+    total = sum(sorted(seen))                            # laundered sum
+    ordered = [entry for entry in sorted(seen)]          # laundered list
+    return complete, total, ordered
+
+
+def seeded_family(seed, scale):
+    rng = random.Random(1000003 * seed + scale)          # seeded instance
+    return [rng.random() for _ in range(scale)]
+
+
+class Token:
+    """hash() for identity (dict keys), never for ordering."""
+
+    def __init__(self, bits):
+        self.bits = tuple(bits)
+
+    def __hash__(self):
+        return hash(self.bits)
+
+    def __eq__(self, other):
+        return isinstance(other, Token) and self.bits == other.bits

@@ -1,0 +1,39 @@
+"""Firing fixtures for the rest of the determinism pass (RA001-RA003)."""
+
+import random
+
+
+def fingerprint_material(codes):
+    unstable = set(codes)
+    return ",".join(str(code) for code in unstable)  # must-fire: RA001
+
+
+def positions_by_set_order(nodes):
+    return {n: i for i, n in enumerate(set(nodes))}  # must-fire: RA001
+
+
+def materialise(reached):
+    states = frozenset(reached)
+    return list(states)  # must-fire: RA001
+
+
+def merged_support(left, right):
+    union = left | set(right)
+    return tuple(union)  # must-fire: RA001
+
+
+def rank_by_hash(items):
+    return sorted(items, key=lambda item: hash(item))  # must-fire: RA002
+
+
+def first_by_identity(items):
+    items.sort(key=id)  # must-fire: RA002
+    return items[0]
+
+
+def jitter(values):
+    return [v + random.random() for v in values]  # must-fire: RA003
+
+
+def pick(values):
+    return random.choice(values)  # must-fire: RA003

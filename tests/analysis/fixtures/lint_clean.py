@@ -1,0 +1,10 @@
+"""Non-firing fixture for the lint pass: used imports, a satisfied
+``__all__`` and no duplicate definitions.  Must report nothing."""
+
+import os
+
+__all__ = ["working_directory"]
+
+
+def working_directory():
+    return os.getcwd()

@@ -1,0 +1,13 @@
+"""Firing fixtures for the lint pass (RA402-RA404)."""
+
+import os  # must-fire: RA402
+
+__all__ = ["missing_name"]  # the RA403 finding reports line 1
+
+
+def duplicated():
+    return 1
+
+
+def duplicated():  # must-fire: RA404
+    return 2

@@ -1,0 +1,4 @@
+"""Firing fixture for RA401: this file intentionally does not parse."""
+
+def broken(:
+    return None

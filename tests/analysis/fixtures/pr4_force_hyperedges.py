@@ -1,0 +1,31 @@
+"""Must-fire regression fixture: the PR-4 FORCE hyperedge bug.
+
+Reproduction of ``repro.core.encoding.SymbolicEncoding
+._co_occurrence_groups`` *before* commit a5c2505: hyperedge member
+lists were built by iterating the hash-ordered pre/post-sets, so the
+FORCE accumulator summed its floats in hash order and the computed
+variable order varied between interpreter processes.  The determinism
+pass must flag the two list comprehensions and the float summation
+(the must-fire comments mark the expected lines).
+"""
+
+
+class ForceOrdering:
+    def __init__(self, stg, place_variable):
+        self.stg = stg
+        self.place_variable = place_variable
+
+    def co_occurrence_groups(self):
+        groups = []
+        for transition in self.stg.net.transitions:
+            group = [self.place_variable(p)  # must-fire: RA001
+                     for p in self.stg.net.preset_of_transition(transition)]
+            group += [self.place_variable(p)  # must-fire: RA001
+                      for p in self.stg.net.postset_of_transition(transition)]
+            groups.append(group)
+        return groups
+
+    def center_of(self, hyperedge, positions):
+        members = frozenset(hyperedge)
+        total = sum(positions[v] for v in members)  # must-fire: RA001
+        return total / len(members)

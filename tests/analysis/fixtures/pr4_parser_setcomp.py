@@ -1,0 +1,23 @@
+"""Must-fire regression fixture: the PR-4 ``.g`` parser bug.
+
+Reproduction of ``repro.stg.parser._build_graph`` *before* commit
+a5c2505: graph tokens were collected into a set comprehension and the
+net's transitions/places declared by iterating it, so declaration order
+-- and with it the BDD variable order and every traversal statistic --
+depended on ``PYTHONHASHSEED``.  The determinism pass must flag both
+iteration sites (the must-fire comments mark the expected lines).
+"""
+
+
+def _is_transition_token(token):
+    return "+" in token or "-" in token or "/" in token
+
+
+def build_graph(stg, graph_lines):
+    tokens = {token for line in graph_lines for token in line}
+    place_names = {t for t in tokens if not _is_transition_token(t)}
+    for token in tokens:  # must-fire: RA001
+        if _is_transition_token(token):
+            stg.declare_transition(token)
+    for name in place_names:  # must-fire: RA001
+        stg.declare_place(name)

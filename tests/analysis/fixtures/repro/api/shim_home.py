@@ -1,0 +1,8 @@
+"""Non-firing fixture: the facade layer itself may construct the
+deprecation shims (the path fragment ``repro/api/`` allows it)."""
+
+from repro.core.checker import ImplementabilityChecker
+
+
+def legacy_entry(stg):
+    return ImplementabilityChecker(stg)

@@ -1,0 +1,9 @@
+"""Non-firing fixture for the facade-purity pass: front-end code that
+verifies exclusively through ``repro.api``.  Must report nothing."""
+
+from repro.api import run as api_run
+from repro.api.config import EngineConfig
+
+
+def run_entry(g_text):
+    return api_run(g_text, EngineConfig())

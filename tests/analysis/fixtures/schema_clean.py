@@ -1,0 +1,45 @@
+"""Non-firing fixtures for the schema-contract pass: complete
+round-trips (explicit and ``fields()``-driven), a live strip list and a
+schema-versioned fingerprint.  The pass must report nothing here."""
+
+import hashlib
+from dataclasses import dataclass, fields
+
+SCHEMA_VERSION = 2
+
+VOLATILE_ROUNDTRIP_FIELDS = ("wall_time_s",)
+
+
+@dataclass
+class RoundTrip:
+    name: str = ""
+    wall_time_s: float = 0.0
+    _derived: int = 0  # private: not part of the schema
+
+    def to_dict(self):
+        return {"name": self.name, "wall_time_s": self.wall_time_s}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(name=data["name"], wall_time_s=data["wall_time_s"])
+
+
+@dataclass
+class Generic:
+    alpha: int = 0
+    beta: int = 0
+
+    def to_dict(self):
+        return {spec.name: getattr(self, spec.name)
+                for spec in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data):
+        known = {spec.name for spec in fields(cls)}
+        return cls(**{key: value for key, value in data.items()
+                      if key in known})
+
+
+def stable_fingerprint(g_text):
+    material = f"{SCHEMA_VERSION}:{g_text}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()

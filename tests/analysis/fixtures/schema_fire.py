@@ -1,0 +1,29 @@
+"""Firing fixtures for the schema-contract pass (RA101-RA104)."""
+
+import hashlib
+from dataclasses import dataclass
+
+# "kept" exists (a Lossy field); the other entry survives no rename.
+VOLATILE_DEMO_FIELDS = ("kept", "no_such_field_anywhere")  # must-fire: RA103
+
+
+class OneWay:  # must-fire: RA101
+    def to_dict(self):
+        return {"value": 1}
+
+
+@dataclass
+class Lossy:
+    kept: int = 0
+    dropped: int = 0
+
+    def to_dict(self):  # must-fire: RA102
+        return {"kept": self.kept}
+
+    @classmethod
+    def from_dict(cls, data):  # must-fire: RA102
+        return cls(kept=data["kept"])
+
+
+def task_fingerprint(material):  # must-fire: RA104
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()

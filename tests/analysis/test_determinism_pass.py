@@ -1,0 +1,98 @@
+"""Determinism pass (RA001-RA003): fixture-driven firing and
+non-firing cases, including the two PR-4 PYTHONHASHSEED bugs as
+must-fire regression reproductions."""
+
+from tools.analysis import determinism
+from tools.analysis.cli import main
+
+
+def lines_of(findings, rule):
+    return sorted(finding.line for finding in findings
+                  if finding.rule == rule)
+
+
+# ----------------------------------------------------------------------
+# The PR-4 regression reproductions (the analyzer's raison d'etre)
+# ----------------------------------------------------------------------
+class TestPR4ParserBug:
+    FIXTURE = "pr4_parser_setcomp.py"
+
+    def test_fires_ra001_on_both_iteration_sites(self, run_pass,
+                                                 expected_lines):
+        findings = run_pass(determinism, self.FIXTURE)
+        assert lines_of(findings, "RA001") == \
+            expected_lines(self.FIXTURE, "RA001")
+        assert len(findings) == 2
+
+    def test_cli_exits_1(self, fixture_path, in_repo_root, capsys):
+        exit_code = main([fixture_path(self.FIXTURE),
+                          "--library", "tests/analysis/fixtures",
+                          "--exclude", "", "--no-baseline",
+                          "--select", "RA0"])
+        assert exit_code == 1
+        out = capsys.readouterr().out
+        assert "RA001" in out
+        for line in expected_marker_lines(fixture_path(self.FIXTURE)):
+            assert f":{line}: RA001" in out
+
+
+class TestPR4ForceBug:
+    FIXTURE = "pr4_force_hyperedges.py"
+
+    def test_fires_ra001_on_hyperedges_and_float_sum(self, run_pass,
+                                                     expected_lines):
+        findings = run_pass(determinism, self.FIXTURE)
+        assert lines_of(findings, "RA001") == \
+            expected_lines(self.FIXTURE, "RA001")
+        assert len(findings) == 3
+
+    def test_cli_exits_1(self, fixture_path, in_repo_root, capsys):
+        exit_code = main([fixture_path(self.FIXTURE),
+                          "--library", "tests/analysis/fixtures",
+                          "--exclude", "", "--no-baseline",
+                          "--select", "RA0"])
+        assert exit_code == 1
+        assert "RA001" in capsys.readouterr().out
+
+
+def expected_marker_lines(path):
+    import re
+    with open(path, encoding="utf-8") as handle:
+        return [lineno for lineno, line in enumerate(handle, start=1)
+                if re.search(r"#\s*must-fire:\s*RA001", line)]
+
+
+# ----------------------------------------------------------------------
+# The other firing shapes
+# ----------------------------------------------------------------------
+class TestOtherFiringShapes:
+    FIXTURE = "det_more_fire.py"
+
+    def test_every_marked_line_fires_exactly(self, run_pass,
+                                             expected_lines):
+        findings = run_pass(determinism, self.FIXTURE)
+        for rule in ("RA001", "RA002", "RA003"):
+            assert lines_of(findings, rule) == \
+                expected_lines(self.FIXTURE, rule), rule
+
+    def test_messages_name_the_origin(self, run_pass):
+        findings = run_pass(determinism, self.FIXTURE)
+        joined = "\n".join(finding.message for finding in findings)
+        assert "set-valued variable 'unstable'" in joined
+        assert "random.choice" in joined
+        assert "hash()" in joined
+
+
+# ----------------------------------------------------------------------
+# Non-firing: laundering and order-insensitive consumption
+# ----------------------------------------------------------------------
+def test_clean_fixture_reports_nothing(run_pass):
+    assert run_pass(determinism, "det_clean.py") == []
+
+
+def test_rules_scope_to_library_code(run_pass, fixture_config):
+    """Outside the configured library prefixes the determinism rules
+    stay silent (tests may build sets freely)."""
+    config = fixture_config(library_prefixes=("src/",))
+    assert run_pass(determinism, "pr4_parser_setcomp.py",
+                    config=config) == []

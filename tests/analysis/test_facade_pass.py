@@ -1,0 +1,34 @@
+"""Facade-purity pass (RA201-RA202): shims constructed only in the
+facade layer, front-end code bound to repro.api."""
+
+from tools.analysis import facade
+
+
+class TestFiring:
+    FIXTURE = "repro/runner/uses_internals.py"
+
+    def test_marked_lines_fire(self, run_pass, expected_lines):
+        findings = run_pass(facade, self.FIXTURE)
+        for rule in ("RA201", "RA202"):
+            assert sorted(f.line for f in findings
+                          if f.rule == rule) == \
+                expected_lines(self.FIXTURE, rule), rule
+
+    def test_shim_call_reports_the_facade_alternative(self, run_pass):
+        findings = run_pass(facade, self.FIXTURE)
+        shim, = [f for f in findings if f.rule == "RA201"]
+        assert "repro.api" in shim.message
+
+
+def test_facade_only_frontend_is_clean(run_pass):
+    assert run_pass(facade, "repro/runner/facade_only.py") == []
+
+
+def test_facade_layer_may_construct_shims(run_pass):
+    assert run_pass(facade, "repro/api/shim_home.py") == []
+
+
+def test_rules_scope_to_library_code(run_pass, fixture_config):
+    config = fixture_config(library_prefixes=("src/",))
+    assert run_pass(facade, "repro/runner/uses_internals.py",
+                    config=config) == []

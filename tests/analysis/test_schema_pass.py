@@ -1,0 +1,47 @@
+"""Schema-contract pass (RA101-RA104): round-trip pairing, field
+coverage, strip-list liveness, fingerprint schema versioning."""
+
+from tools.analysis import schema
+
+
+def by_rule(findings, rule):
+    return [finding for finding in findings if finding.rule == rule]
+
+
+class TestFiring:
+    FIXTURE = "schema_fire.py"
+
+    def test_marked_lines_fire(self, run_pass, expected_lines):
+        findings = run_pass(schema, self.FIXTURE)
+        for rule in ("RA101", "RA102", "RA103", "RA104"):
+            assert [f.line for f in by_rule(findings, rule)] == \
+                expected_lines(self.FIXTURE, rule), rule
+
+    def test_ra101_names_the_missing_direction(self, run_pass):
+        finding, = by_rule(run_pass(schema, self.FIXTURE), "RA101")
+        assert "OneWay" in finding.message
+        assert "from_dict" in finding.message
+
+    def test_ra102_names_the_dropped_field(self, run_pass):
+        findings = by_rule(run_pass(schema, self.FIXTURE), "RA102")
+        assert len(findings) == 2  # to_dict and from_dict both drop it
+        assert all("'dropped'" in f.message for f in findings)
+
+    def test_ra103_only_flags_the_stale_entry(self, run_pass):
+        finding, = by_rule(run_pass(schema, self.FIXTURE), "RA103")
+        assert "no_such_field_anywhere" in finding.message
+        assert "'kept'" not in finding.message
+
+
+def test_clean_fixture_reports_nothing(run_pass):
+    assert run_pass(schema, "schema_clean.py") == []
+
+
+def test_strip_list_sees_fields_across_files(run_pass):
+    """RA103 resolves strip-list entries against every analyzed file,
+    not just the defining one: schema_fire's 'kept' lives in the same
+    project, schema_clean's strip list resolves against its own."""
+    findings = run_pass(schema, "schema_fire.py", "schema_clean.py")
+    stale = [f for f in findings if f.rule == "RA103"]
+    assert len(stale) == 1
+    assert "no_such_field_anywhere" in stale[0].message

@@ -1,0 +1,2 @@
+"""Developer tooling (``tools.analysis`` is importable as a package;
+the other entries are standalone scripts run by the Makefile)."""

@@ -1,0 +1,65 @@
+"""The committed findings baseline.
+
+A baseline lets the analyzer gate from day one: pre-existing findings
+recorded in ``tools/analysis/baseline.json`` are reported as
+``baselined`` (and do not fail the run), while anything new fails.
+Entries are keyed ``(rule, path, message)`` -- line numbers shift with
+unrelated edits, the triple does not.  ``--write-baseline`` regenerates
+the file; an entry that no longer matches any finding is dropped on the
+next write, so the baseline only ever shrinks by fixing code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence, Set, Tuple
+
+from tools.analysis.core import Finding
+
+DEFAULT_BASELINE = "tools/analysis/baseline.json"
+
+Key = Tuple[str, str, str]
+
+
+def load(path: str) -> Set[Key]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        return set()
+    if not isinstance(data, dict) or not isinstance(
+            data.get("findings"), list):
+        raise ValueError(
+            f"{path}: malformed baseline (expected an object with a "
+            f"'findings' list; regenerate with --write-baseline)")
+    keys: Set[Key] = set()
+    for entry in data["findings"]:
+        keys.add((str(entry["rule"]), str(entry["path"]),
+                  str(entry["message"])))
+    return keys
+
+
+def write(path: str, findings: Sequence[Finding]) -> None:
+    entries = sorted({finding.key for finding in findings})
+    payload = {
+        "comment": "Accepted pre-existing findings of tools/analysis; "
+                   "regenerate with: python -m tools.analysis "
+                   "--write-baseline.  Fix code to shrink this file -- "
+                   "never add entries by hand.",
+        "findings": [
+            {"rule": rule, "path": file_path, "message": message}
+            for rule, file_path, message in entries],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def split(findings: Sequence[Finding], keys: Set[Key]
+          ) -> Tuple[List[Finding], List[Finding]]:
+    """Partition into (new, baselined)."""
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        (baselined if finding.key in keys else new).append(finding)
+    return new, baselined

@@ -1,0 +1,380 @@
+"""Determinism pass (RA001-RA003).
+
+The repo's stable-output contract (sweep results byte-identical across
+backends, machines and ``PYTHONHASHSEED``) died twice to the same class
+of bug: an unordered collection iterated into an order-sensitive sink.
+PR 4 fixed the ``.g`` parser declaring transitions out of a set
+comprehension and the FORCE ordering summing floats in pre/post-set hash
+order -- this pass re-detects both patterns statically.
+
+The analysis is a per-scope (function body or module top level) taint
+walk.  *Unordered origins* are set/frozenset displays and comprehensions,
+``set()``/``frozenset()`` calls, set algebra, calls to known
+set-returning APIs (the Petri-net pre/post-set accessors plus anything
+annotated ``-> Set[...]`` in the analyzed files), and names assigned any
+of those.  *Order-sensitive sinks* are list building, ``join``,
+``sum``/accumulation, ``enumerate`` (position assignment), ``list``/
+``tuple`` materialisation and statement loops with effectful bodies.
+``sorted(...)`` launders; ``len``/``min``/``max``/``any``/``all``/
+membership/set-to-set rebuilds are order-insensitive and never fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from tools.analysis.core import Config, Finding, Project, SourceFile, parent_map
+
+#: Methods that return sets wherever they appear.  ``union`` and friends
+#: are set algebra; the ``*set_of_*`` names are the repo's Petri-net
+#: accessors (``PetriNet.preset_of_transition`` etc.), which the PR-4
+#: FORCE bug iterated in hash order.
+SET_RETURNING_METHODS = {
+    "union", "intersection", "difference", "symmetric_difference",
+    "preset_of_transition", "postset_of_transition",
+    "preset_of_place", "postset_of_place",
+}
+
+#: Module-level ``random`` functions that share the process-global,
+#: unseeded RNG state.
+GLOBAL_RANDOM_FUNCS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "seed", "getrandbits", "gauss", "betavariate",
+    "expovariate", "triangular", "vonmisesvariate", "normalvariate",
+}
+
+#: Builtins whose result does not depend on iteration order -- consuming
+#: an unordered iterable through these is fine.
+ORDER_INSENSITIVE_CONSUMERS = {
+    "len", "min", "max", "any", "all", "set", "frozenset", "sorted",
+    "sum",  # overridden below: sum IS order-sensitive (float addition)
+}
+
+#: Calls where feeding an unordered iterable fixes an order in the
+#: result: these fire.
+ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate", "sum"}
+
+#: Loop-body statements that make iterating an unordered collection
+#: order-sensitive: growing a sequence, accumulating, emitting, writing
+#: subscripts (insertion order / last-writer), or any bare call (side
+#: effects happen in hash order).
+_SEQ_GROWING_METHODS = {"append", "extend", "insert", "update", "write"}
+
+
+def _set_annotated(node: ast.AST) -> bool:
+    """Does a ``-> X`` annotation denote a set type?"""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("Set", "FrozenSet", "AbstractSet", "MutableSet")
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset", "Set", "FrozenSet",
+                           "AbstractSet", "MutableSet")
+    return False
+
+
+def annotated_set_returners(project: Project) -> Set[str]:
+    """Function/method names annotated as returning sets anywhere in the
+    analyzed files (callable-name granularity: good enough for a repo
+    where names like ``preset_of_transition`` are unambiguous)."""
+    names: Set[str] = set()
+    for source in project.files:
+        if source.tree is None:
+            continue
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.returns is not None \
+                    and _set_annotated(node.returns):
+                names.add(node.name)
+    return names
+
+
+class _ScopeTaint:
+    """Unordered-value inference for one function body / module level."""
+
+    def __init__(self, set_returners: Set[str]):
+        self.set_returners = set_returners
+        self.unordered_names: Dict[str, str] = {}  # name -> origin text
+
+    def bind(self, target: ast.expr, value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            origin = self.origin_of(value)
+            if origin:
+                self.unordered_names[target.id] = origin
+            else:
+                self.unordered_names.pop(target.id, None)
+
+    def origin_of(self, node: ast.expr) -> Optional[str]:
+        """A short description of why ``node`` is unordered, or None."""
+        if isinstance(node, ast.Set):
+            return "a set display"
+        if isinstance(node, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(node, ast.DictComp):
+            # a dict comprehension inherits its insertion order from the
+            # iterable it ranges over
+            return self.origin_of(node.generators[0].iter)
+        if isinstance(node, ast.Name):
+            origin = self.unordered_names.get(node.id)
+            return f"set-valued variable {node.id!r}" if origin else None
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+            return self.origin_of(node.left) or self.origin_of(node.right)
+        if isinstance(node, ast.IfExp):
+            return self.origin_of(node.body) or self.origin_of(node.orelse)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in ("set", "frozenset"):
+                    return f"a {func.id}() call"
+                if func.id in self.set_returners:
+                    return f"set-returning call {func.id}()"
+            if isinstance(func, ast.Attribute):
+                if func.attr in SET_RETURNING_METHODS \
+                        or func.attr in self.set_returners:
+                    return f"set-returning call .{func.attr}()"
+        return None
+
+
+def _random_import_aliases(tree: ast.Module) -> Set[str]:
+    """Names bound by ``from random import shuffle, ...``."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            for alias in node.names:
+                if alias.name in GLOBAL_RANDOM_FUNCS:
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _key_uses_hash(keyword: ast.keyword) -> Optional[str]:
+    value = keyword.value
+    if isinstance(value, ast.Name) and value.id in ("hash", "id"):
+        return value.id
+    if isinstance(value, ast.Lambda):
+        for node in ast.walk(value.body):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Name) \
+                    and node.func.id in ("hash", "id"):
+                return node.func.id
+    return None
+
+
+def _loop_body_order_sensitive(body: List[ast.stmt]) -> Optional[str]:
+    """Why a ``for`` body over an unordered iterable is order-sensitive
+    (None = provably insensitive: flag checks, set.add, name rebinds)."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Expr) and isinstance(node.value,
+                                                         ast.Call):
+                call = node.value
+                if isinstance(call.func, ast.Attribute) \
+                        and call.func.attr in ("add", "discard", "remove"):
+                    continue  # set mutation commutes
+                return "calls with side effects"
+            if isinstance(node, ast.AugAssign):
+                return "accumulates with augmented assignment"
+            if isinstance(node, ast.Assign) and any(
+                    isinstance(t, ast.Subscript) for t in node.targets):
+                return "writes subscripts (insertion order)"
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return "yields items"
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _SEQ_GROWING_METHODS:
+                return f"grows a sequence (.{node.func.attr})"
+    return None
+
+
+class _FileChecker:
+    def __init__(self, source: SourceFile, config: Config,
+                 set_returners: Set[str]):
+        self.source = source
+        self.config = config
+        self.set_returners = set_returners
+        self.findings: List[Finding] = []
+        assert source.tree is not None
+        self.parents = parent_map(source.tree)
+        self.random_aliases = _random_import_aliases(source.tree)
+
+    def emit(self, rule: str, node: ast.AST, message: str) -> None:
+        if self.config.rule_applies(rule, self.source.path):
+            self.findings.append(Finding(
+                rule=rule, path=self.source.path,
+                line=getattr(node, "lineno", 1), message=message))
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[Finding]:
+        tree = self.source.tree
+        self.check_scope(tree.body)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.check_scope(node.body)
+            self.check_hash_ordering(node)
+            self.check_random(node)
+        return self.findings
+
+    # -- RA002 ---------------------------------------------------------
+    def check_hash_ordering(self, node: ast.AST) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        func = node.func
+        is_order_call = (
+            isinstance(func, ast.Name) and func.id in ("sorted", "min",
+                                                       "max"))
+        is_sort_method = (isinstance(func, ast.Attribute)
+                          and func.attr == "sort")
+        if not (is_order_call or is_sort_method):
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "key":
+                used = _key_uses_hash(keyword)
+                if used:
+                    self.emit(
+                        "RA002", node,
+                        f"ordering key uses {used}(); the resulting "
+                        f"order varies per interpreter run -- sort by a "
+                        f"stable attribute instead")
+
+    # -- RA003 ---------------------------------------------------------
+    def check_random(self, node: ast.AST) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        func = node.func
+        name = None
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id == "random" \
+                and func.attr in GLOBAL_RANDOM_FUNCS:
+            name = f"random.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in self.random_aliases:
+            name = func.id
+        if name:
+            self.emit(
+                "RA003", node,
+                f"{name}() uses the process-global unseeded RNG; "
+                f"construct a random.Random(seed) so results are "
+                f"reproducible across workers")
+
+    # -- RA001 ---------------------------------------------------------
+    def check_scope(self, body: List[ast.stmt]) -> None:
+        taint = _ScopeTaint(self.set_returners)
+        for stmt in body:
+            self.visit_stmt(stmt, taint)
+
+    def visit_stmt(self, stmt: ast.stmt, taint: _ScopeTaint) -> None:
+        # nested defs get their own scope in run()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            self.check_expr(stmt.value, taint)
+            taint.bind(stmt.targets[0], stmt.value)
+            return
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self.check_expr(stmt.value, taint)
+            taint.bind(stmt.target, stmt.value)
+            return
+        if isinstance(stmt, ast.For):
+            origin = taint.origin_of(stmt.iter)
+            if origin:
+                reason = _loop_body_order_sensitive(stmt.body)
+                if reason:
+                    self.emit(
+                        "RA001", stmt,
+                        f"for-loop iterates {origin} and {reason}; "
+                        f"iterate sorted(...) so the effect order does "
+                        f"not depend on PYTHONHASHSEED")
+            else:
+                self.check_expr(stmt.iter, taint)
+            for inner in stmt.body + stmt.orelse:
+                self.visit_stmt(inner, taint)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self.visit_stmt(child, taint)
+            elif isinstance(child, ast.expr):
+                self.check_expr(child, taint)
+
+    def check_expr(self, expr: ast.expr, taint: _ScopeTaint) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.ListComp):
+                self.check_comprehension(node, taint)
+            elif isinstance(node, ast.GeneratorExp):
+                self.check_genexp(node, taint)
+            elif isinstance(node, ast.Call):
+                self.check_call(node, taint)
+
+    def _laundered(self, node: ast.AST) -> bool:
+        """Is this expression the direct argument of sorted(...)?"""
+        parent = self.parents.get(node)
+        return (isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id == "sorted")
+
+    def check_comprehension(self, node: ast.ListComp,
+                            taint: _ScopeTaint) -> None:
+        for generator in node.generators:
+            origin = taint.origin_of(generator.iter)
+            if origin and not self._laundered(node):
+                self.emit(
+                    "RA001", node,
+                    f"list comprehension iterates {origin}; the list "
+                    f"order depends on PYTHONHASHSEED -- iterate "
+                    f"sorted(...)")
+
+    def check_genexp(self, node: ast.GeneratorExp,
+                     taint: _ScopeTaint) -> None:
+        parent = self.parents.get(node)
+        if not (isinstance(parent, ast.Call)):
+            return
+        func = parent.func
+        sensitive = None
+        if isinstance(func, ast.Name) and func.id in ORDER_SENSITIVE_CALLS:
+            sensitive = func.id
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            sensitive = "join"
+        if sensitive is None:
+            return
+        for generator in node.generators:
+            origin = taint.origin_of(generator.iter)
+            if origin:
+                self.emit(
+                    "RA001", node,
+                    f"{sensitive}(...) consumes a generator over "
+                    f"{origin}; the result depends on iteration order "
+                    f"-- iterate sorted(...)")
+
+    def check_call(self, node: ast.Call, taint: _ScopeTaint) -> None:
+        func = node.func
+        sensitive = None
+        if isinstance(func, ast.Name) and func.id in ORDER_SENSITIVE_CALLS:
+            sensitive = func.id
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            sensitive = "join"
+        if sensitive is None or not node.args:
+            return
+        # join takes the iterable as its only argument; enumerate/list/
+        # tuple/sum take it first
+        origin = taint.origin_of(node.args[0])
+        if origin:
+            self.emit(
+                "RA001", node,
+                f"{sensitive}(...) applied directly to {origin}; the "
+                f"resulting order depends on PYTHONHASHSEED -- apply "
+                f"sorted(...) first")
+
+
+def run(project: Project) -> List[Finding]:
+    set_returners = annotated_set_returners(project)
+    findings: List[Finding] = []
+    for source in project.files:
+        if source.tree is None:
+            continue
+        if not any(project.config.rule_applies(rule, source.path)
+                   for rule in ("RA001", "RA002", "RA003")):
+            continue
+        findings.extend(
+            _FileChecker(source, project.config, set_returners).run())
+    return findings

@@ -1,0 +1,92 @@
+"""Facade-purity pass (RA201-RA202).
+
+PR 3 demoted ``ImplementabilityChecker`` and ``ExplicitChecker`` to
+deprecation shims over :func:`repro.api.run`; everything user-facing
+(CLI, sweep runner, workers) must verify exclusively through the
+``repro.api`` facade so engines, checks and configs stay pluggable.
+This pass turns that convention into findings:
+
+* **RA201** -- a module in ``src/repro`` (outside ``repro/api``,
+  ``repro/engines`` and the shims' own defining modules) *constructs*
+  one of the deprecated shims;
+* **RA202** -- front-end code (``cli.py``, ``__main__.py``, anything
+  under ``runner/``) imports or calls verification internals
+  (``VerificationPipeline``, ``ExplicitVerification``, the shims)
+  instead of going through ``repro.api``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from tools.analysis.core import Finding, Project, SourceFile
+
+#: The PR-3 deprecation shims: constructing one outside the facade
+#: layer reintroduces the pre-facade call surface.
+DEPRECATED_SHIMS = ("ImplementabilityChecker", "ExplicitChecker")
+
+#: Engine-internal verification entry points front-end code must not
+#: touch (the facade threads them through the engine registry).
+VERIFICATION_INTERNALS = DEPRECATED_SHIMS + (
+    "VerificationPipeline", "ExplicitVerification")
+
+#: Modules allowed to name the shims: the facade layer, the engine
+#: adapters, the defining modules themselves and the package __init__
+#: re-exports that keep the deprecated import paths alive.
+_SHIM_ALLOWED_FRAGMENTS = (
+    "repro/api/", "repro/engines", "repro/core/checker",
+    "repro/sg/checker", "__init__")
+
+#: Front-end modules bound to the facade-only contract.
+_FRONTEND_FRAGMENTS = ("repro/cli", "repro/__main__", "repro/runner/")
+
+
+def _shim_allowed(path: str) -> bool:
+    return any(fragment in path for fragment in _SHIM_ALLOWED_FRAGMENTS)
+
+
+def _is_frontend(path: str) -> bool:
+    return any(fragment in path for fragment in _FRONTEND_FRAGMENTS)
+
+
+def _check_file(source: SourceFile, findings: List[Finding]) -> None:
+    assert source.tree is not None
+    frontend = _is_frontend(source.path)
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None)
+            if name in DEPRECATED_SHIMS and not _shim_allowed(source.path):
+                findings.append(Finding(
+                    rule="RA201", path=source.path, line=node.lineno,
+                    message=f"{name} is a deprecation shim; construct "
+                            f"verification through repro.api.run / "
+                            f"repro.api.verify instead"))
+            elif frontend and name in VERIFICATION_INTERNALS:
+                findings.append(Finding(
+                    rule="RA202", path=source.path, line=node.lineno,
+                    message=f"front-end code calls {name} directly; "
+                            f"go through the repro.api facade"))
+        elif isinstance(node, ast.ImportFrom) and frontend:
+            module = node.module or ""
+            if module.startswith("repro.api"):
+                continue
+            for alias in node.names:
+                if alias.name in VERIFICATION_INTERNALS:
+                    findings.append(Finding(
+                        rule="RA202", path=source.path, line=node.lineno,
+                        message=f"front-end code imports {alias.name} "
+                                f"from {module}; verification goes "
+                                f"through repro.api only"))
+
+
+def run(project: Project) -> List[Finding]:
+    config = project.config
+    findings: List[Finding] = []
+    for source in project.files:
+        if source.tree is None or not config.is_library(source.path):
+            continue
+        _check_file(source, findings)
+    return [f for f in findings if config.rule_applies(f.rule, f.path)]

@@ -1,0 +1,101 @@
+"""Registry-hygiene pass (RA301-RA302).
+
+The repo routes extensibility through three registries: property checks
+(``register_check`` in ``repro.api``), engines (``repro.engines
+.register``) and execution backends (``repro.runner.backends
+.register``).  A registered name that no test exercises is a dead
+feature waiting to rot; one missing from the README tables is invisible
+to users.  This pass extracts every registration made with a literal
+name in library code and greps the test tree and README for it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import List
+
+from tools.analysis.core import Finding, Project
+
+
+@dataclass(frozen=True)
+class Registration:
+    kind: str      # "check" | "engine" | "backend"
+    name: str
+    path: str
+    line: int
+
+
+def _literal_registrations(project: Project) -> List[Registration]:
+    registrations: List[Registration] = []
+    for source in project.files:
+        if source.tree is None \
+                or not project.config.is_library(source.path):
+            continue
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            func_name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None)
+            if func_name == "register_check" and node.args:
+                spec = node.args[0]
+                if isinstance(spec, ast.Call):
+                    for keyword in spec.keywords:
+                        if keyword.arg == "name" and isinstance(
+                                keyword.value, ast.Constant):
+                            registrations.append(Registration(
+                                "check", str(keyword.value.value),
+                                source.path, node.lineno))
+            elif func_name == "register" and node.args \
+                    and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                kind = ("engine" if "engines" in source.path
+                        else "backend" if "backends" in source.path
+                        else None)
+                if kind:
+                    registrations.append(Registration(
+                        kind, node.args[0].value,
+                        source.path, node.lineno))
+    return registrations
+
+
+def _mentions(corpus: str, name: str) -> bool:
+    return re.search(rf"\b{re.escape(name)}\b", corpus) is not None
+
+
+def run(project: Project) -> List[Finding]:
+    config = project.config
+    if not (config.rule_enabled("RA301") or config.rule_enabled("RA302")):
+        return []
+    registrations = _literal_registrations(project)
+    if not registrations:
+        return []
+    findings: List[Finding] = []
+    tests_text = project.corpus_text(config.tests_root)
+    readme_text = ""
+    if config.readme_path:
+        try:
+            with open(config.readme_path, encoding="utf-8") as handle:
+                readme_text = handle.read()
+        except OSError:
+            readme_text = ""
+    for registration in registrations:
+        if config.tests_root and not _mentions(tests_text,
+                                               registration.name):
+            findings.append(Finding(
+                rule="RA301", path=registration.path,
+                line=registration.line,
+                message=f"registered {registration.kind} "
+                        f"{registration.name!r} is never exercised "
+                        f"under {config.tests_root}/"))
+        if config.readme_path and not _mentions(readme_text,
+                                                registration.name):
+            findings.append(Finding(
+                rule="RA302", path=registration.path,
+                line=registration.line,
+                message=f"registered {registration.kind} "
+                        f"{registration.name!r} is not documented in "
+                        f"{config.readme_path}"))
+    return [f for f in findings if config.rule_applies(f.rule, f.path)]

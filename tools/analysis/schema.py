@@ -1,0 +1,234 @@
+"""Schema-contract pass (RA101-RA104).
+
+The repo's serialisation discipline, enforced:
+
+* every class with a ``to_dict`` has a ``from_dict`` (RA101) and the
+  pair covers every dataclass field (RA102) -- worker pipes, the JSONL
+  RunStore and ``--json`` all share that one schema;
+* volatile-field strip lists (``VOLATILE_TRAVERSAL_FIELDS`` style) only
+  name fields that actually exist somewhere (RA103), so renaming a
+  stats field cannot silently stop it being stripped from stable JSON;
+* fingerprint material always hashes a ``SCHEMA_VERSION`` (RA104), so
+  bumping the version keeps invalidating stale cache records.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional, Set
+
+from tools.analysis.core import Finding, Project, SourceFile
+
+_STRIP_LIST_NAME = re.compile(r"^(VOLATILE|STRIPPED)_[A-Z_]*FIELDS$")
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator,
+                                              ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _field_skipped(value: Optional[ast.expr]) -> bool:
+    """``field(init=False)`` defaults are derived state, not schema."""
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name) \
+            and value.func.id == "field":
+        for keyword in value.keywords:
+            if keyword.arg == "init" \
+                    and isinstance(keyword.value, ast.Constant) \
+                    and keyword.value.value is False:
+                return True
+    return False
+
+
+def _annotation_is_classvar(annotation: ast.expr) -> bool:
+    node = annotation.value if isinstance(annotation,
+                                          ast.Subscript) else annotation
+    if isinstance(node, ast.Attribute):
+        return node.attr == "ClassVar"
+    return isinstance(node, ast.Name) and node.id == "ClassVar"
+
+
+def dataclass_fields(node: ast.ClassDef) -> List[str]:
+    """Public schema fields of a dataclass body."""
+    names: List[str] = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) \
+                and isinstance(stmt.target, ast.Name) \
+                and not stmt.target.id.startswith("_") \
+                and not _annotation_is_classvar(stmt.annotation) \
+                and not _field_skipped(stmt.value):
+            names.append(stmt.target.id)
+    return names
+
+
+def _method(node: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and stmt.name == name:
+            return stmt
+    return None
+
+
+def _referenced_names(func: ast.FunctionDef) -> Set[str]:
+    """Field references inside a to_dict/from_dict body: ``self.x``
+    attributes, string literals (dict keys, ``data.get("x")``) and
+    keyword-argument names of calls (``cls(x=...)``)."""
+    referenced: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            referenced.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            referenced.add(node.value)
+        elif isinstance(node, ast.Call):
+            referenced.update(kw.arg for kw in node.keywords
+                              if kw.arg is not None)
+    return referenced
+
+
+def _delegates_to_fields(func: ast.FunctionDef) -> bool:
+    """A generic body driven by ``dataclasses.fields(cls)`` (or
+    ``asdict``) covers every field by construction."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            target = node.func
+            name = target.attr if isinstance(target, ast.Attribute) \
+                else target.id if isinstance(target, ast.Name) else None
+            if name in ("fields", "asdict", "astuple"):
+                return True
+    return False
+
+
+def _check_class(source: SourceFile, node: ast.ClassDef,
+                 findings: List[Finding]) -> None:
+    to_dict = _method(node, "to_dict")
+    from_dict = _method(node, "from_dict")
+    if to_dict is None and from_dict is None:
+        return
+    if to_dict is None or from_dict is None:
+        present, missing = (("to_dict", "from_dict") if from_dict is None
+                            else ("from_dict", "to_dict"))
+        findings.append(Finding(
+            rule="RA101", path=source.path, line=node.lineno,
+            message=f"class {node.name} defines {present} but no "
+                    f"{missing}; serialised schemas must round-trip"))
+        return
+    if not _is_dataclass(node):
+        return
+    for method, direction in ((to_dict, "to_dict"),
+                              (from_dict, "from_dict")):
+        if _delegates_to_fields(method):
+            continue
+        referenced = _referenced_names(method)
+        for field_name in dataclass_fields(node):
+            if field_name not in referenced:
+                findings.append(Finding(
+                    rule="RA102", path=source.path, line=method.lineno,
+                    message=f"{node.name}.{direction} does not cover "
+                            f"field {field_name!r}; the round-trip "
+                            f"drops it"))
+
+
+def _all_known_fields(project: Project) -> Set[str]:
+    """Every dataclass field name plus every to_dict string key in the
+    analyzed files -- the universe strip lists may refer to."""
+    known: Set[str] = set()
+    for source in project.files:
+        if source.tree is None:
+            continue
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and _is_dataclass(node):
+                known.update(dataclass_fields(node))
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.name == "to_dict":
+                known.update(_referenced_names(node))
+    return known
+
+
+def _check_strip_lists(source: SourceFile, known_fields: Set[str],
+                       findings: List[Finding]) -> None:
+    assert source.tree is not None
+    for node in source.tree.body:
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)):
+            continue
+        name = node.targets[0].id
+        if not _STRIP_LIST_NAME.match(name):
+            continue
+        try:
+            entries = ast.literal_eval(node.value)
+        except ValueError:
+            continue
+        if not isinstance(entries, (list, tuple)):
+            continue
+        for entry in entries:
+            if isinstance(entry, str) and entry not in known_fields:
+                findings.append(Finding(
+                    rule="RA103", path=source.path, line=node.lineno,
+                    message=f"strip list {name} names {entry!r}, which "
+                            f"is not a field of any analyzed dataclass "
+                            f"-- stale after a rename?"))
+
+
+def _hashes_material(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and isinstance(node.value,
+                                                          ast.Name):
+            if node.value.id == "hashlib":
+                return True
+            if node.attr in ("sha256", "sha1", "md5", "blake2b"):
+                return True
+    return False
+
+
+def _mentions_schema_version(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and "SCHEMA_VERSION" in node.id:
+            return True
+        if isinstance(node, ast.Attribute) and "SCHEMA_VERSION" in node.attr:
+            return True
+    return False
+
+
+def _check_fingerprints(source: SourceFile,
+                        findings: List[Finding]) -> None:
+    assert source.tree is not None
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if "fingerprint" not in node.name.lower():
+            continue
+        if _hashes_material(node) and not _mentions_schema_version(node):
+            findings.append(Finding(
+                rule="RA104", path=source.path, line=node.lineno,
+                message=f"{node.name} hashes fingerprint material "
+                        f"without a SCHEMA_VERSION constant; version "
+                        f"bumps would no longer invalidate caches"))
+
+
+def run(project: Project) -> List[Finding]:
+    config = project.config
+    findings: List[Finding] = []
+    known_fields: Optional[Set[str]] = None
+    for source in project.files:
+        if source.tree is None or not config.is_library(source.path):
+            continue
+        if config.rule_enabled("RA101") or config.rule_enabled("RA102"):
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef):
+                    _check_class(source, node, findings)
+        if config.rule_enabled("RA103"):
+            if known_fields is None:
+                known_fields = _all_known_fields(project)
+            _check_strip_lists(source, known_fields, findings)
+        if config.rule_enabled("RA104"):
+            _check_fingerprints(source, findings)
+    return [f for f in findings
+            if config.rule_applies(f.rule, f.path)]

@@ -1,168 +1,27 @@
 #!/usr/bin/env python
-"""Project linter: ``ruff check`` when available, a built-in subset otherwise.
+"""Project linter: ``ruff check`` when available, the ``tools.analysis``
+lint pass otherwise.
 
-``make lint`` runs this over ``src``, ``tests`` and ``tools``.  On
-machines with ruff installed it defers to ``ruff check`` (configured in
-``pyproject.toml``); on dependency-free machines (this repository runs
-without third-party packages) it falls back to a small AST-based linter
-covering the highest-signal rules:
-
-* **syntax** -- the file must parse (ruff E999),
-* **unused-import** -- a module-level import never referenced in the
-  module and not re-exported via ``__all__`` (ruff F401; ``__init__``
-  modules are exempt: re-exporting is their job),
-* **undefined-export** -- an ``__all__`` entry that names nothing
-  defined or imported at module level (ruff F822),
-* **duplicate-definition** -- a module-level function/class defined twice
-  (shadowing the first definition silently; ruff F811).
+This is a thin shim kept so ``make lint`` (and muscle memory) work
+unchanged.  The four built-in rules that used to live here -- syntax,
+unused-import, undefined-export, duplicate-definition -- moved into the
+repo's static analyzer as rules RA401-RA404 (see ``python -m
+tools.analysis --list-rules``); on dependency-free machines this shim
+runs exactly that pass.  The full analyzer (determinism, schema
+round-trips, facade purity, registry hygiene) runs as ``make analyze``.
 
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
 
 from __future__ import annotations
 
-import ast
 import os
 import shutil
 import subprocess
 import sys
-from typing import Iterator, List, Set
+from typing import List
 
-
-def iter_python_files(paths: List[str]) -> Iterator[str]:
-    for path in paths:
-        if os.path.isfile(path) and path.endswith(".py"):
-            yield path
-            continue
-        for root, _dirs, files in os.walk(path):
-            for name in sorted(files):
-                if name.endswith(".py"):
-                    yield os.path.join(root, name)
-
-
-# ----------------------------------------------------------------------
-# The fallback rules
-# ----------------------------------------------------------------------
-def collect_used_names(tree: ast.AST) -> Set[str]:
-    """Every identifier the module references (including attribute roots
-    and names quoted in ``__all__``-style string constants)."""
-    used: Set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Name):
-            used.add(node.id)
-        elif isinstance(node, ast.Attribute):
-            root = node
-            while isinstance(root, ast.Attribute):
-                root = root.value
-            if isinstance(root, ast.Name):
-                used.add(root.id)
-        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
-            used.add(node.value)  # __all__ entries, typing forward refs
-    return used
-
-
-def module_imports(tree: ast.Module):
-    """Module-level ``(bound_name, lineno)`` pairs from import statements."""
-    for node in tree.body:
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                yield alias.asname or alias.name.partition(".")[0], node.lineno
-        elif isinstance(node, ast.ImportFrom):
-            if node.module == "__future__":
-                continue  # compiler directives, not bindings to use
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                yield alias.asname or alias.name, node.lineno
-
-
-def module_definitions(tree: ast.Module) -> Set[str]:
-    """Names bound at module level (defs, classes, assignments, imports)."""
-    defined: Set[str] = set()
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                             ast.ClassDef)):
-            defined.add(node.name)
-        elif isinstance(node, ast.Assign):
-            for target in node.targets:
-                for child in ast.walk(target):
-                    if isinstance(child, ast.Name):
-                        defined.add(child.id)
-        elif isinstance(node, ast.AnnAssign) and isinstance(node.target,
-                                                            ast.Name):
-            defined.add(node.target.id)
-        elif isinstance(node, (ast.Import, ast.ImportFrom)):
-            defined.update(name for name, _ in module_imports(
-                ast.Module(body=[node], type_ignores=[])))
-    return defined
-
-
-def dunder_all(tree: ast.Module) -> List[str]:
-    for node in tree.body:
-        if isinstance(node, ast.Assign):
-            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
-            if "__all__" in targets:
-                try:
-                    value = ast.literal_eval(node.value)
-                except ValueError:
-                    return []
-                return [entry for entry in value if isinstance(entry, str)]
-    return []
-
-
-def lint_file(path: str) -> List[str]:
-    with open(path, encoding="utf-8") as handle:
-        source = handle.read()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as error:
-        return [f"{path}:{error.lineno}: syntax error: {error.msg}"]
-
-    findings: List[str] = []
-    used = collect_used_names(tree)
-    exported = set(dunder_all(tree))
-    is_init = os.path.basename(path) == "__init__.py"
-
-    if not is_init:  # re-exporting is an __init__ module's job
-        for name, lineno in module_imports(tree):
-            if name.startswith("_"):
-                continue
-            if name not in used and name not in exported:
-                findings.append(
-                    f"{path}:{lineno}: unused-import: {name!r} is "
-                    f"imported but never used")
-
-    defined = module_definitions(tree)
-    for entry in dunder_all(tree):
-        if entry not in defined:
-            findings.append(
-                f"{path}:1: undefined-export: __all__ names {entry!r} "
-                f"which is not defined in the module")
-
-    seen: dict = {}
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                             ast.ClassDef)):
-            if node.name in seen:
-                findings.append(
-                    f"{path}:{node.lineno}: duplicate-definition: "
-                    f"{node.name!r} already defined on line "
-                    f"{seen[node.name]}")
-            seen[node.name] = node.lineno
-    return findings
-
-
-def run_fallback(paths: List[str]) -> int:
-    findings: List[str] = []
-    count = 0
-    for path in iter_python_files(paths):
-        count += 1
-        findings.extend(lint_file(path))
-    for finding in findings:
-        print(finding)
-    print(f"lint (builtin): {count} files checked, "
-          f"{len(findings)} finding(s)")
-    return 1 if findings else 0
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def main(argv: List[str]) -> int:
@@ -175,7 +34,16 @@ def main(argv: List[str]) -> int:
     ruff = shutil.which("ruff")
     if ruff:
         return subprocess.call([ruff, "check", *paths])
-    return run_fallback(paths)
+    if REPO_ROOT not in sys.path:  # run as a script, tools/ is sys.path[0]
+        sys.path.insert(0, REPO_ROOT)
+    from tools.analysis import Config, analyze_paths
+
+    result = analyze_paths(paths, config=Config(select=("RA4",)))
+    for finding in result.findings:
+        print(finding.render())
+    print(f"lint (tools.analysis): {result.files_checked} files "
+          f"checked, {len(result.findings)} finding(s)")
+    return 1 if result.findings else 0
 
 
 if __name__ == "__main__":
