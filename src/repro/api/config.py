@@ -64,6 +64,12 @@ class EngineConfig:
         ``timeout``: where a run caches can never change what it
         computes, so the field is excluded from result-cache
         fingerprints.
+    trace_dir:
+        Directory the worker writes per-entry JSONL trace files into
+        (:mod:`repro.obs`; the ``--trace`` flag).  A pure observability
+        knob: like ``timeout`` and ``bdd_cache_dir`` it is excluded
+        from every fingerprint, and the sweep gate proves traced and
+        untraced runs emit byte-identical stable JSON.
     commutativity_fallback_states:
         State bound under which the symbolic engine falls back to the
         explicit commutativity check when fake conflicts are present.
@@ -77,6 +83,7 @@ class EngineConfig:
     arbitration_places: Tuple[str, ...] = ()
     timeout: Optional[float] = None
     bdd_cache_dir: Optional[str] = None
+    trace_dir: Optional[str] = None
     commutativity_fallback_states: int = 10_000
 
     def __post_init__(self) -> None:
@@ -143,6 +150,7 @@ class EngineConfig:
             "arbitration_places": list(self.arbitration_places),
             "timeout": self.timeout,
             "bdd_cache_dir": self.bdd_cache_dir,
+            "trace_dir": self.trace_dir,
             "commutativity_fallback_states":
                 self.commutativity_fallback_states,
         }

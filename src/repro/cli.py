@@ -39,7 +39,7 @@ import os
 import sys
 from typing import List, Optional
 
-from repro import api
+from repro import api, obs
 from repro.core.encoding import ORDERING_STRATEGIES
 from repro.sg.builder import infer_initial_values
 from repro.stg.generators import FIXED_EXAMPLES, SCALABLE_FAMILIES, build_example
@@ -83,6 +83,13 @@ def build_argument_parser() -> argparse.ArgumentParser:
                              "specification -- e.g. with a different "
                              "--checks selection -- loads it and skips "
                              "the traversal entirely")
+    parser.add_argument("--trace", metavar="DIR", dest="trace_dir",
+                        default=None,
+                        help="write a JSONL trace of the run (spans for "
+                             "parse/encoding/ordering/traversal/checks/"
+                             "synthesis, per-iteration frontier sizes, "
+                             "BDD cache deltas) under DIR; inspect with "
+                             "tools/trace_report.py")
     parser.add_argument("--infer-initial-values", action="store_true",
                         help="infer missing initial signal values before "
                              "checking")
@@ -157,6 +164,15 @@ def build_batch_check_parser() -> argparse.ArgumentParser:
                              "and family instances warm-start from the "
                              "nearest smaller stored scale; verdicts are "
                              "byte-identical with and without the store")
+    parser.add_argument("--trace", metavar="DIR", dest="trace_dir",
+                        default=None,
+                        help="write one JSONL trace file per swept entry "
+                             "(keyed by the entry's content fingerprint) "
+                             "under DIR; an execution knob like "
+                             "--bdd-cache: excluded from fingerprints, "
+                             "stable JSON is byte-identical with and "
+                             "without it; aggregate the files with "
+                             "tools/trace_report.py")
     parser.add_argument("--profile", type=int, default=None, metavar="N",
                         help="after the sweep, print the N slowest entries "
                              "with their traversal statistics (any "
@@ -255,16 +271,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             engine=engine,
             ordering=arguments.ordering,
             arbitration_places=tuple(arguments.arbitration),
-            bdd_cache_dir=arguments.bdd_cache)
-        outcome = api.run(stg, config, checks=arguments.checks)
+            bdd_cache_dir=arguments.bdd_cache,
+            trace_dir=arguments.trace_dir)
     except api.ApiError as error:
         parser.error(str(error))  # exits with status 2
         return 2
-    report = outcome.report
-    print(report.summary())
 
-    if arguments.liveness or arguments.synthesize:
-        _run_extras(stg, arguments, config, report, outcome.pipeline)
+    # The tracing context covers the whole run -- main check, liveness
+    # extras and synthesis all land in one trace file under --trace.
+    with obs.tracing(config.trace_dir, name=stg.name,
+                     meta={"engine": engine}):
+        try:
+            outcome = api.run(stg, config, checks=arguments.checks)
+        except api.ApiError as error:
+            parser.error(str(error))  # exits with status 2
+            return 2
+        report = outcome.report
+        print(report.summary())
+
+        if arguments.liveness or arguments.synthesize:
+            _run_extras(stg, arguments, config, report, outcome.pipeline)
     if arguments.checks is not None:
         # A subset run has no classification; succeed iff every verdict
         # that was actually checked holds.
@@ -350,7 +376,8 @@ def batch_check_main(argv: List[str]) -> int:
             engine=arguments.engine,
             ordering=arguments.ordering,
             timeout=arguments.timeout,
-            bdd_cache_dir=arguments.bdd_cache)
+            bdd_cache_dir=arguments.bdd_cache,
+            trace_dir=arguments.trace_dir)
         checks = None
         if arguments.checks is not None:
             from repro.api.checks import resolve_checks
@@ -541,9 +568,13 @@ def _print_profile(sweep, count: int) -> None:
     """The ``--profile N`` report: the N slowest entries with their stats.
 
     Backend-independent: it reads the per-entry durations and traversal
-    statistics every backend records.  A cached entry shows the duration
-    of the run that originally computed it.
+    statistics every backend records, formatted through
+    :func:`repro.obs.report.format_traversal` (the same stats layer the
+    trace reports use).  A cached entry shows the duration of the run
+    that originally computed it.
     """
+    from repro.obs.report import format_traversal
+
     slowest = sorted(sweep, key=lambda result: result.duration,
                      reverse=True)[:max(count, 0)]
     if not slowest:
@@ -553,17 +584,9 @@ def _print_profile(sweep, count: int) -> None:
     for result in slowest:
         line = (f"  {result.name:<{width}}  {result.duration:8.3f}s "
                 f"[{result.display_status}]")
-        traversal = result.traversal or {}
-        if traversal:
-            lookups = traversal.get("cache_lookups") or 0
-            hits = traversal.get("cache_hits") or 0
-            rate = f"{hits / lookups:.2f}" if lookups else "-"
-            line += (f" traversal={traversal.get('wall_time_s', 0.0):.3f}s"
-                     f" iterations={traversal.get('iterations', 0)}"
-                     f" images={traversal.get('images_computed', 0)}"
-                     f" bdd_peak={traversal.get('peak_nodes', 0)}"
-                     f" live_peak={traversal.get('peak_live_nodes', 0)}"
-                     f" hit_rate={rate}")
+        formatted = format_traversal(result.traversal)
+        if formatted:
+            line += f" {formatted}"
         print(line)
 
 

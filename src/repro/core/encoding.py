@@ -58,9 +58,13 @@ class SymbolicEncoding:
         if ordering not in ORDERING_STRATEGIES:
             raise ValueError(f"unknown ordering strategy {ordering!r}; "
                              f"choose from {ORDERING_STRATEGIES}")
+        from repro import obs
+
         self.stg = stg
         self.ordering_strategy = ordering
-        order = self._compute_order(ordering)
+        with obs.span("ordering", strategy=ordering) as span:
+            order = self._compute_order(ordering)
+            span.annotate(variables=len(order))
         self.manager = manager if manager is not None else BDDManager()
         for name in order:
             if name not in self.manager.variables:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
+from repro import obs
 from repro.core.consistency import check_consistency
 from repro.core.csc import check_csc
 from repro.core.deadlock import check_deadlock_freedom, check_reversibility
@@ -95,7 +96,9 @@ class VerificationPipeline:
     @property
     def encoding(self) -> SymbolicEncoding:
         if self._encoding is None:
-            self._encoding = SymbolicEncoding(self.stg, ordering=self.ordering)
+            with obs.span("encoding", ordering=self.ordering):
+                self._encoding = SymbolicEncoding(self.stg,
+                                                  ordering=self.ordering)
         return self._encoding
 
     @property
@@ -123,6 +126,7 @@ class VerificationPipeline:
                 hit = self.reached_provider(self)
                 if hit is not None:
                     self._reached, self._traversal_stats = hit
+                    obs.event("reached-cache-hit")
                     return self._reached
             self._reached, self._traversal_stats = symbolic_traversal(
                 self.encoding, image=self.image,
@@ -332,7 +336,11 @@ class VerificationPipeline:
         for phase, names in group_by_phase(selected):
             with timer.phase(phase):
                 for name in names:
-                    apply_check(self, CHECKS[name], report, "symbolic")
+                    manager = (self._encoding.manager
+                               if self._encoding is not None else None)
+                    with obs.span("check", manager=manager,
+                                  check=name, phase=phase):
+                        apply_check(self, CHECKS[name], report, "symbolic")
 
         if self.traversal_ran:
             traversal_stats = self.traversal_stats

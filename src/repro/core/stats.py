@@ -51,8 +51,9 @@ class TraversalStats:
             return 0.0
         return self.cache_hits / self.cache_lookups
 
-    def as_dict(self) -> Dict[str, int]:
-        """Short-key row used by the benchmark harness tables."""
+    def as_dict(self) -> Dict[str, object]:
+        """Short-key row used by the benchmark harness tables (the
+        ``wall_s`` and ``hit_rate`` values are floats)."""
         return {
             "iterations": self.iterations,
             "images": self.images_computed,
@@ -68,16 +69,18 @@ class TraversalStats:
     # ------------------------------------------------------------------
     # JSON schema shared by the sweep runner's RunStore and --json report
     # ------------------------------------------------------------------
-    def to_dict(self) -> Dict[str, int]:
+    def to_dict(self) -> Dict[str, object]:
         """Lossless, JSON-serialisable form (field names as keys).
 
         ``from_dict(to_dict(stats)) == stats`` holds exactly; this is the
-        schema the :mod:`repro.runner` result cache persists.
+        schema the :mod:`repro.runner` result cache persists.  Values mix
+        types: every counter is an ``int`` but ``wall_time_s`` is a
+        ``float``, so the mapping is ``str -> object``.
         """
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, int]) -> "TraversalStats":
+    def from_dict(cls, data: Mapping[str, object]) -> "TraversalStats":
         """Rebuild stats from :meth:`to_dict` output (unknown keys ignored)."""
         known = {f.name for f in fields(cls)}
         return cls(**{key: value for key, value in data.items()

@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Iterable, List, Optional, Tuple
 
+from repro import obs
 from repro.bdd import Function
 from repro.core.encoding import SymbolicEncoding
 from repro.core.image import SymbolicImage
@@ -72,32 +73,49 @@ def symbolic_traversal(encoding: SymbolicEncoding,
     manager = encoding.manager
     base_lookups = manager.cache_lookups
     base_hits = manager.cache_hits
-    start = time.perf_counter()
-    stats.observe_reached(reached.size())
-    if observer is not None:
-        observer(reached)
-
-    from_set = reached
-    while True:
-        stats.iterations += 1
-        if strategy == "chained":
-            new = _chained_step(image, transition_list, reached, from_set, stats)
-        else:
-            new = _frontier_step(image, transition_list, from_set, stats)
-            new = new - reached
-        stats.observe_live_nodes(manager.num_nodes)
-        if new.is_false():
-            break
-        reached = reached | new
+    # One fetch outside the loop: the per-iteration events (frontier
+    # size, live nodes -- the dynamic-reordering trigger signal) only
+    # cost anything when a tracer is active.
+    tracer = obs.active()
+    with obs.span("traversal", manager=manager,
+                  strategy=strategy) as span:
+        start = time.perf_counter()
         stats.observe_reached(reached.size())
         if observer is not None:
-            observer(new)
-        from_set = new
-    stats.num_states = encoding.count_states(reached)
-    stats.final_nodes = reached.size()
-    stats.wall_time_s = time.perf_counter() - start
-    stats.cache_lookups = manager.cache_lookups - base_lookups
-    stats.cache_hits = manager.cache_hits - base_hits
+            observer(reached)
+
+        from_set = reached
+        while True:
+            stats.iterations += 1
+            if strategy == "chained":
+                new = _chained_step(image, transition_list, reached,
+                                    from_set, stats)
+            else:
+                new = _frontier_step(image, transition_list, from_set, stats)
+                new = new - reached
+            stats.observe_live_nodes(manager.num_nodes)
+            if tracer is not None:
+                tracer.event("iteration", iteration=stats.iterations,
+                             frontier_nodes=new.size(),
+                             reached_nodes=stats.final_nodes,
+                             live_nodes=manager.num_nodes)
+            if new.is_false():
+                break
+            reached = reached | new
+            stats.observe_reached(reached.size())
+            if observer is not None:
+                observer(new)
+            from_set = new
+        stats.num_states = encoding.count_states(reached)
+        stats.final_nodes = reached.size()
+        stats.wall_time_s = time.perf_counter() - start
+        stats.cache_lookups = manager.cache_lookups - base_lookups
+        stats.cache_hits = manager.cache_hits - base_hits
+        span.annotate(iterations=stats.iterations,
+                      images=stats.images_computed,
+                      peak_nodes=stats.peak_nodes,
+                      peak_live_nodes=stats.peak_live_nodes,
+                      states=stats.num_states)
     return reached, stats
 
 

@@ -118,6 +118,11 @@ class SweepTask:
     #: the engine supports, the historical sweep behaviour).  Part of the
     #: fingerprint: a subset run computes genuinely different verdicts.
     checks: Optional[Tuple[str, ...]] = None
+    #: Execution provenance (backend, shard) stamped by the runner just
+    #: before dispatch so the worker's trace records carry it.  Pure
+    #: observability: not part of the fingerprint, never in stable
+    #: views.
+    provenance: Mapping[str, str] = field(default_factory=dict)
 
     @property
     def engine(self) -> str:
@@ -137,13 +142,15 @@ class SweepTask:
         execution knobs ``timeout`` and ``bdd_cache_dir``), the check
         selection, the expected metadata the mismatch check runs
         against, and the result schema version.  Execution knobs
-        (timeout, delay, BDD-cache directory) deliberately do not
-        participate: where and how fast a verdict is computed never
-        changes the verdict.
+        (timeout, delay, BDD-cache directory, trace directory)
+        deliberately do not participate: where and how fast a verdict
+        is computed -- and whether anyone watched -- never changes the
+        verdict.
         """
         config = self.config.to_dict()
         config.pop("timeout", None)
         config.pop("bdd_cache_dir", None)
+        config.pop("trace_dir", None)
         material = json.dumps(
             {"schema": SCHEMA_VERSION, "g_text": self.g_text,
              "config": config,
@@ -162,6 +169,7 @@ class SweepTask:
             "fingerprint": self.fingerprint,
             "delay": self.delay,
             "checks": list(self.checks) if self.checks is not None else None,
+            "provenance": dict(self.provenance),
         }
 
 

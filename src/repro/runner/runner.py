@@ -22,6 +22,7 @@ shard end to end:
 from __future__ import annotations
 
 import threading
+from dataclasses import replace
 from typing import Callable, List, Optional, Union
 
 from repro.runner import backends as backend_registry
@@ -61,6 +62,11 @@ class SweepRunner:
 
         # NB: RunStore has __len__, so an empty store is falsy -- every
         # store test here must be an identity check, not truthiness.
+        # Fresh tasks are stamped with their execution provenance so the
+        # worker's trace meta records who ran what where; the stamp is
+        # outside every fingerprint, so cache triage happens first.
+        provenance = {"backend": self.backend.name,
+                      "shard": str(self.plan.shard)}
         fresh: List[backend_registry.WorkItem] = []
         for position, task in enumerate(tasks):
             cached = (self.store.lookup(task.name, task.fingerprint)
@@ -69,7 +75,8 @@ class SweepRunner:
                 results[position] = cached
                 self._report_progress(cached)
             else:
-                fresh.append((position, task))
+                fresh.append((position,
+                              replace(task, provenance=dict(provenance))))
 
         if fresh:
             self.backend.execute(fresh, self.plan.jobs,

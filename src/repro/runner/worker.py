@@ -24,38 +24,57 @@ import time
 import traceback
 from typing import Dict
 
+from repro import obs
 from repro.runner.results import EntryResult
 
 
 def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
-    """Run one task payload; always returns an EntryResult dict."""
+    """Run one task payload; always returns an EntryResult dict.
+
+    When the payload's config carries a ``trace_dir`` (the ``--trace``
+    execution knob), the whole entry runs under an activated
+    :mod:`repro.obs` tracer writing one JSONL file keyed by the task
+    fingerprint; the root ``entry`` span then parents every stage span
+    the engine emits.  Tracing never changes the result: the stamp is
+    activation-scoped (contextvars), so concurrent thread-backend
+    entries stay isolated, and the sweep gate proves traced/untraced
+    stable-JSON byte parity.
+    """
     start = time.perf_counter()
     name = str(payload["name"])
-    engine = str(dict(payload.get("config") or {}).get("engine", "?"))
+    config = dict(payload.get("config") or {})
+    engine = str(config.get("engine", "?"))
     fingerprint = str(payload["fingerprint"])
     delay = float(payload.get("delay") or 0.0)
-    try:
-        if delay:
-            time.sleep(delay)
-        report, traversal = _check(payload)
-        mismatches = _mismatches(payload, report)
-        result = EntryResult(
-            name=name,
-            status="ok" if not mismatches else "mismatch",
-            engine=engine,
-            fingerprint=fingerprint,
-            report=report.to_dict(),
-            traversal=traversal,
-            mismatches=mismatches,
-            duration=time.perf_counter() - start)
-    except Exception as error:
-        result = EntryResult(
-            name=name,
-            status="error",
-            engine=engine,
-            fingerprint=fingerprint,
-            error=f"{type(error).__name__}: {error}",
-            duration=time.perf_counter() - start)
+    trace_dir = config.get("trace_dir")
+    meta = {"engine": engine,
+            "provenance": dict(payload.get("provenance") or {})}
+    with obs.tracing(trace_dir if trace_dir else None, name=name,
+                     fingerprint=fingerprint, meta=meta):
+        with obs.span("entry", entry=name, engine=engine) as entry_span:
+            try:
+                if delay:
+                    time.sleep(delay)
+                report, traversal = _check(payload)
+                mismatches = _mismatches(payload, report)
+                result = EntryResult(
+                    name=name,
+                    status="ok" if not mismatches else "mismatch",
+                    engine=engine,
+                    fingerprint=fingerprint,
+                    report=report.to_dict(),
+                    traversal=traversal,
+                    mismatches=mismatches,
+                    duration=time.perf_counter() - start)
+            except Exception as error:
+                result = EntryResult(
+                    name=name,
+                    status="error",
+                    engine=engine,
+                    fingerprint=fingerprint,
+                    error=f"{type(error).__name__}: {error}",
+                    duration=time.perf_counter() - start)
+            entry_span.annotate(status=result.status)
     return result.to_dict()
 
 
@@ -72,7 +91,8 @@ def _check(payload: Dict[str, object]):
     from repro import api
     from repro.stg.parser import parse_g
 
-    stg = parse_g(str(payload["g_text"]), name=str(payload["name"]))
+    with obs.span("parse"):
+        stg = parse_g(str(payload["g_text"]), name=str(payload["name"]))
     config = api.EngineConfig.from_dict(dict(payload.get("config") or {}))
     checks = payload.get("checks")
     outcome = api.run(stg, config,

@@ -152,6 +152,7 @@ class ExplicitVerification:
         set).  Checks run grouped by their registry phase (``T+C``,
         ``NI-p``, ``CSC``), sharing the lazily enumerated state graph.
         """
+        from repro import obs
         from repro.api.checks import (
             CHECKS,
             apply_check,
@@ -170,7 +171,8 @@ class ExplicitVerification:
         for phase, names in group_by_phase(selected):
             with timer.phase(phase):
                 for name in names:
-                    apply_check(self, CHECKS[name], report, "explicit")
+                    with obs.span("check", check=name, phase=phase):
+                        apply_check(self, CHECKS[name], report, "explicit")
         report.timings = timer.as_dict()
         return report
 

@@ -127,9 +127,16 @@ def synthesize_complex_gates(encoding: SymbolicEncoding, reached: Function,
                              signals: Optional[List[str]] = None
                              ) -> Dict[str, ComplexGate]:
     """Complex-gate implementations for every non-input signal."""
-    functions = derive_next_state_functions(encoding, reached, charfun, signals)
-    return {signal: synthesize_complex_gate(encoding, function)
-            for signal, function in functions.items()}
+    from repro import obs
+
+    with obs.span("synthesis", manager=encoding.manager,
+                  style="complex-gate") as span:
+        functions = derive_next_state_functions(encoding, reached, charfun,
+                                                signals)
+        gates = {signal: synthesize_complex_gate(encoding, function)
+                 for signal, function in functions.items()}
+        span.annotate(gates=len(gates))
+    return gates
 
 
 def synthesize_generalized_c_elements(encoding: SymbolicEncoding,
@@ -138,6 +145,13 @@ def synthesize_generalized_c_elements(encoding: SymbolicEncoding,
                                       signals: Optional[List[str]] = None
                                       ) -> Dict[str, GeneralizedCElement]:
     """gC implementations for every non-input signal."""
-    functions = derive_next_state_functions(encoding, reached, charfun, signals)
-    return {signal: synthesize_generalized_c_element(encoding, function)
-            for signal, function in functions.items()}
+    from repro import obs
+
+    with obs.span("synthesis", manager=encoding.manager,
+                  style="gc-element") as span:
+        functions = derive_next_state_functions(encoding, reached, charfun,
+                                                signals)
+        gates = {signal: synthesize_generalized_c_element(encoding, function)
+                 for signal, function in functions.items()}
+        span.annotate(gates=len(gates))
+    return gates

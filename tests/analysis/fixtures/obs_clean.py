@@ -1,0 +1,26 @@
+"""Fixture: literal-named, fingerprint-free observability (clean)."""
+
+from repro import obs
+from repro.obs import span
+
+
+def instrumented(manager, tracer, metrics, name, phase):
+    with obs.span("traversal", manager=manager, strategy=name):
+        pass
+    with obs.span("check", check=name, phase=phase):
+        pass
+    with span("parse"):
+        pass
+    tracer.event("iteration", iteration=3, frontier_nodes=17)
+    metrics.counter("entries").add(1)
+    metrics.gauge("live-nodes").set(42)
+
+
+def fingerprint(material):
+    # Hashing without any obs emission: RA502 has nothing to say.
+    return sorted(material.items())
+
+
+def lookup(table, span):
+    # A local called "span" is not the obs surface.
+    return table[span]

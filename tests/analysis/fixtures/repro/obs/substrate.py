@@ -1,0 +1,16 @@
+"""Fixture: the obs substrate forwards variable names by design."""
+
+
+class Tracer:
+    def span(self, name, **attrs):
+        return (name, attrs)
+
+    def event(self, name, **attrs):
+        return (name, attrs)
+
+
+def span(name, **attrs):
+    tracer = Tracer()
+    # The module-level helper forwards the caller's name through a
+    # variable -- exempt from RA501 (the rule binds emission sites).
+    return tracer.span(name, **attrs)

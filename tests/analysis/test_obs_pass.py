@@ -1,0 +1,46 @@
+"""Observability-hygiene pass (RA501-RA502): literal span names only,
+no trace/metric emission inside fingerprint or stable-view functions."""
+
+from tools.analysis import obspass
+
+
+class TestFiring:
+    FIXTURE = "obs_fire.py"
+
+    def test_marked_lines_fire(self, run_pass, expected_lines):
+        findings = run_pass(obspass, self.FIXTURE)
+        for rule in ("RA501", "RA502"):
+            assert sorted(f.line for f in findings
+                          if f.rule == rule) == \
+                expected_lines(self.FIXTURE, rule), rule
+
+    def test_dynamic_name_message_names_the_fix(self, run_pass):
+        findings = run_pass(obspass, self.FIXTURE)
+        message = next(f.message for f in findings if f.rule == "RA501")
+        assert "keyword attributes" in message
+
+    def test_fingerprint_message_states_the_contract(self, run_pass):
+        findings = run_pass(obspass, self.FIXTURE)
+        message = next(f.message for f in findings if f.rule == "RA502")
+        assert "fingerprint" in message
+
+
+def test_literal_instrumentation_is_clean(run_pass):
+    assert run_pass(obspass, "obs_clean.py") == []
+
+
+def test_obs_substrate_is_exempt_from_ra501(run_pass):
+    assert run_pass(obspass, "repro/obs/substrate.py") == []
+
+
+def test_rules_scope_to_library_code(run_pass, fixture_config):
+    config = fixture_config(library_prefixes=("src/",))
+    assert run_pass(obspass, "obs_fire.py", config=config) == []
+
+
+def test_pass_is_wired_into_the_driver():
+    from tools.analysis import cli
+    from tools.analysis.core import RULES
+
+    assert obspass in cli.PASSES
+    assert "RA501" in RULES and "RA502" in RULES

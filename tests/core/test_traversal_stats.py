@@ -24,6 +24,22 @@ class TestNewCounters:
         stats = traversed_pipeline().traversal_stats
         assert TraversalStats.from_dict(stats.to_dict()) == stats
 
+    def test_round_trip_preserves_mixed_value_types(self):
+        # The schema mixes ints and floats (wall_time_s); the round trip
+        # must preserve both values and their types, not coerce.
+        stats = TraversalStats(iterations=7, images_computed=21,
+                               peak_nodes=130, final_nodes=101,
+                               num_variables=18, num_states=96,
+                               wall_time_s=0.125, peak_live_nodes=412,
+                               cache_lookups=1000, cache_hits=247)
+        rebuilt = TraversalStats.from_dict(stats.to_dict())
+        assert rebuilt == stats
+        assert isinstance(rebuilt.wall_time_s, float)
+        assert rebuilt.wall_time_s == 0.125
+        assert isinstance(rebuilt.iterations, int)
+        assert isinstance(rebuilt.cache_lookups, int)
+        assert rebuilt.cache_hit_rate == 0.247
+
     def test_from_dict_tolerates_records_without_the_new_fields(self):
         # Records persisted by older kernels keep loading.
         old = {"iterations": 3, "images_computed": 12, "peak_nodes": 40,

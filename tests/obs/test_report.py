@@ -1,0 +1,119 @@
+"""Report-side trace analysis: self-time telescoping, breakdowns,
+summaries and the --profile formatter."""
+
+import pytest
+
+from repro.core.stats import TraversalStats
+from repro.obs.report import (
+    cache_breakdown,
+    format_traversal,
+    merge_cache_tables,
+    merge_stage_tables,
+    self_times,
+    span_label,
+    stage_breakdown,
+    trace_summary,
+    trace_wall_s,
+)
+
+
+def span(span_id, parent, name, duration, attrs=None, bdd=None):
+    record = {"type": "span", "id": span_id, "parent": parent,
+              "depth": 0 if parent is None else 1, "name": name,
+              "start_s": 0.0, "duration_s": duration}
+    if attrs:
+        record["attrs"] = attrs
+    if bdd:
+        record["bdd"] = bdd
+    return record
+
+
+#: entry(1.0s) -> traversal(0.6) + check:csc(0.3); 0.1 self.
+TREE = [
+    {"type": "meta", "schema": 1, "entry": "vme_read",
+     "fingerprint": "abc", "provenance": {"backend": "process"}},
+    span(1, 0, "traversal", 0.6,
+         bdd={"lookups": 100, "hits": 25, "evictions": 0,
+              "live_nodes": 40, "live_nodes_delta": 10}),
+    span(2, 0, "check", 0.3, attrs={"check": "csc"}),
+    span(0, None, "entry", 1.0),
+    {"type": "event", "span": 1, "name": "iteration", "at_s": 0.2},
+    {"type": "end", "wall_s": 1.001},
+]
+
+
+class TestSelfTimes:
+    def test_self_time_subtracts_direct_children(self):
+        times = self_times(TREE)
+        assert times[0] == pytest.approx(0.1)
+        assert times[1] == 0.6
+        assert times[2] == 0.3
+
+    def test_self_times_telescope_to_the_root_duration(self):
+        assert abs(sum(self_times(TREE).values()) - 1.0) < 1e-9
+
+    def test_negative_self_time_is_clamped(self):
+        # Clock granularity can make children sum past the parent.
+        records = [span(0, None, "entry", 0.1), span(1, 0, "work", 0.2)]
+        assert self_times(records)[0] == 0.0
+
+
+class TestBreakdowns:
+    def test_span_label_appends_the_check_attr(self):
+        assert span_label(span(2, 0, "check", 0.3,
+                               attrs={"check": "csc"})) == "check:csc"
+        assert span_label(span(1, 0, "traversal", 0.6)) == "traversal"
+
+    def test_stage_breakdown_sums_to_wall(self):
+        stages = stage_breakdown(TREE)
+        assert set(stages) == {"entry", "traversal", "check:csc"}
+        assert abs(sum(s["self_s"] for s in stages.values())
+                   - trace_wall_s(TREE)) < 1e-6
+        assert stages["entry"]["total_s"] == 1.0
+
+    def test_cache_breakdown_computes_hit_rates(self):
+        cache = cache_breakdown(TREE)
+        assert list(cache) == ["traversal"]
+        assert cache["traversal"]["hit_rate"] == 0.25
+
+    def test_trace_summary_carries_identity_and_provenance(self):
+        summary = trace_summary(TREE)
+        assert summary["entry"] == "vme_read"
+        assert summary["fingerprint"] == "abc"
+        assert summary["provenance"] == {"backend": "process"}
+        assert summary["wall_s"] == 1.0
+        assert summary["events"] == 1
+
+
+class TestMerging:
+    def test_merge_stage_tables_sums_across_entries(self):
+        one = trace_summary(TREE)
+        merged = merge_stage_tables([one, one])
+        assert merged["traversal"]["self_s"] == 1.2
+        assert merged["traversal"]["count"] == 2
+
+    def test_merge_cache_tables_recomputes_the_rate(self):
+        one = trace_summary(TREE)
+        merged = merge_cache_tables([one, one])
+        assert merged["traversal"]["lookups"] == 200
+        assert merged["traversal"]["hit_rate"] == 0.25
+
+
+class TestFormatTraversal:
+    def test_formats_through_the_stats_layer(self):
+        stats = TraversalStats(iterations=3, images_computed=12,
+                               peak_nodes=40, final_nodes=38,
+                               wall_time_s=0.5, peak_live_nodes=90,
+                               cache_lookups=200, cache_hits=60)
+        text = format_traversal(stats.to_dict())
+        assert "traversal=0.500s" in text
+        assert "iterations=3" in text
+        assert "hit_rate=0.30" in text
+
+    def test_unknown_rate_renders_as_dash(self):
+        text = format_traversal(TraversalStats(iterations=1).to_dict())
+        assert "hit_rate=-" in text
+
+    def test_empty_input_is_empty(self):
+        assert format_traversal(None) == ""
+        assert format_traversal({}) == ""

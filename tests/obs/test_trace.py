@@ -1,0 +1,196 @@
+"""The tracing substrate: spans, the no-op path, activation scoping."""
+
+import pytest
+
+from repro import obs
+from repro.bdd import BDDManager
+from repro.obs.trace import NULL_SPAN, Span
+
+
+def make_tracer(**kwargs):
+    sink = obs.InMemorySink()
+    return obs.Tracer(sinks=[sink], **kwargs), sink
+
+
+class TestDisabledPath:
+    def test_span_without_tracer_is_the_shared_null_span(self):
+        assert obs.active() is None
+        assert obs.span("traversal") is NULL_SPAN
+        assert obs.span("check", check="csc") is NULL_SPAN
+
+    def test_null_span_is_falsy_and_inert(self):
+        with obs.span("anything") as span:
+            assert span is NULL_SPAN
+            assert not span
+            span.annotate(iterations=3)
+            span.event("iteration", frontier=12)
+
+    def test_event_without_tracer_is_a_no_op(self):
+        obs.event("iteration", frontier=12)
+
+
+class TestActivation:
+    def test_activated_scopes_the_tracer(self):
+        tracer, _ = make_tracer()
+        with obs.activated(tracer):
+            assert obs.active() is tracer
+            assert obs.span("work") is not NULL_SPAN
+        assert obs.active() is None
+        assert obs.span("work") is NULL_SPAN
+
+    def test_activation_resets_even_on_error(self):
+        tracer, _ = make_tracer()
+        with pytest.raises(RuntimeError):
+            with obs.activated(tracer):
+                raise RuntimeError("boom")
+        assert obs.active() is None
+
+    def test_thread_isolation(self):
+        # Pool threads must not see another context's tracer.
+        import threading
+
+        tracer, _ = make_tracer()
+        seen = []
+        with obs.activated(tracer):
+            thread = threading.Thread(
+                target=lambda: seen.append(obs.active()))
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestSpanTree:
+    def test_nesting_assigns_parents_and_depths(self):
+        tracer, sink = make_tracer()
+        with obs.activated(tracer):
+            with obs.span("entry"):
+                with obs.span("traversal"):
+                    pass
+                with obs.span("check", check="csc"):
+                    pass
+        spans = {s["name"]: s for s in sink.spans()}
+        assert spans["entry"]["parent"] is None
+        assert spans["entry"]["depth"] == 0
+        assert spans["traversal"]["parent"] == spans["entry"]["id"]
+        assert spans["check"]["parent"] == spans["entry"]["id"]
+        assert spans["traversal"]["depth"] == 1
+        # Children close (and are emitted) before their parent.
+        order = [s["name"] for s in sink.spans()]
+        assert order == ["traversal", "check", "entry"]
+
+    def test_span_records_duration_and_attrs(self):
+        tracer, sink = make_tracer()
+        with obs.activated(tracer):
+            with obs.span("work", phase="T+C") as span:
+                span.annotate(iterations=5)
+        record, = sink.spans()
+        assert record["duration_s"] >= 0.0
+        assert record["attrs"] == {"phase": "T+C", "iterations": 5}
+
+    def test_exception_annotates_and_propagates(self):
+        tracer, sink = make_tracer()
+        with obs.activated(tracer):
+            with pytest.raises(ValueError):
+                with obs.span("work"):
+                    raise ValueError("bad")
+        record, = sink.spans()
+        assert record["attrs"]["error"] == "ValueError"
+
+    def test_events_attach_to_the_innermost_open_span(self):
+        tracer, sink = make_tracer()
+        with obs.activated(tracer):
+            obs.event("outside")
+            with obs.span("loop"):
+                obs.event("iteration", frontier=7)
+        outside, inside = sink.events()
+        assert outside["span"] is None
+        assert inside["span"] == sink.spans()[0]["id"]
+        assert inside["attrs"] == {"frontier": 7}
+
+    def test_span_record_round_trips(self):
+        tracer, sink = make_tracer()
+        with obs.activated(tracer):
+            with obs.span("check", check="csc"):
+                pass
+        record, = sink.spans()
+        span = Span.from_dict(record)
+        assert span.name == "check"
+        assert span.attrs == {"check": "csc"}
+        assert span.to_dict() == record
+
+
+class TestBddDeltas:
+    def test_manager_bound_span_records_cache_deltas(self):
+        manager = BDDManager()
+        a, b = manager.add_var("a"), manager.add_var("b")
+        tracer, sink = make_tracer()
+        with obs.activated(tracer):
+            with obs.span("traversal", manager=manager):
+                (a & b) | (a ^ b)
+        record, = sink.spans()
+        bdd = record["bdd"]
+        assert bdd["lookups"] > 0
+        assert 0 <= bdd["hits"] <= bdd["lookups"]
+        assert bdd["live_nodes"] == manager.num_nodes
+        assert bdd["live_nodes"] - bdd["live_nodes_delta"] >= 0
+
+    def test_unbound_span_has_no_bdd_section(self):
+        tracer, sink = make_tracer()
+        with obs.activated(tracer):
+            with obs.span("parse"):
+                pass
+        assert "bdd" not in sink.spans()[0]
+
+
+class TestTracerLifecycle:
+    def test_meta_record_is_first_and_carries_the_schema(self):
+        tracer, sink = make_tracer(meta={"entry": "vme_read",
+                                         "fingerprint": "abc"})
+        tracer.finish()
+        assert sink.records[0]["type"] == "meta"
+        assert sink.records[0]["schema"] == obs.TRACE_SCHEMA_VERSION
+        assert sink.records[0]["entry"] == "vme_read"
+
+    def test_finish_emits_end_with_metrics_and_closes_sinks(self):
+        tracer, sink = make_tracer()
+        tracer.metrics.counter("entries").add(3)
+        tracer.finish()
+        end = sink.records[-1]
+        assert end["type"] == "end"
+        assert end["wall_s"] >= 0.0
+        assert end["metrics"]["entries"]["value"] == 3
+        assert sink.closed
+
+    def test_finish_is_idempotent(self):
+        tracer, sink = make_tracer()
+        tracer.finish()
+        tracer.finish()
+        assert sum(1 for r in sink.records if r["type"] == "end") == 1
+
+
+class TestTracingFrontDoor:
+    def test_untraced_block_yields_none(self):
+        with obs.tracing() as tracer:
+            assert tracer is None
+            assert obs.span("work") is NULL_SPAN
+
+    def test_sink_block_activates_and_finishes(self):
+        sink = obs.InMemorySink()
+        with obs.tracing(name="vme_read", sink=sink) as tracer:
+            assert obs.active() is tracer
+            with obs.span("work"):
+                pass
+        assert obs.active() is None
+        assert sink.records[0]["type"] == "meta"
+        assert sink.records[-1]["type"] == "end"
+
+    def test_trace_dir_block_writes_the_entry_file(self, tmp_path):
+        with obs.tracing(trace_dir=str(tmp_path), name="a b/c",
+                         fingerprint="0123456789abcdef"):
+            with obs.span("work"):
+                pass
+        path = tmp_path / "a_b_c-0123456789ab.jsonl"
+        assert path.exists()
+        records, skipped = obs.read_trace_records(str(path))
+        assert skipped == 0
+        assert [r["type"] for r in records] == ["meta", "span", "end"]

@@ -153,6 +153,7 @@ class TestFingerprints:
         config = task.config.to_dict()
         config.pop("timeout")
         config.pop("bdd_cache_dir")
+        config.pop("trace_dir")
         material = json.dumps(
             {"schema": SCHEMA_VERSION, "g_text": task.g_text,
              "config": config,

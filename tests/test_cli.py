@@ -527,3 +527,42 @@ class TestBatchCheckGcAndMergeGuards:
         assert excinfo.value.code == 2
         assert "no such run-store directory" in capsys.readouterr().err
         assert not (tmp_path / "typo").exists()
+
+
+class TestTraceFlag:
+    """``--trace DIR``: per-entry JSONL traces from both CLI modes."""
+
+    def test_single_mode_writes_a_trace_file(self, tmp_path, capsys):
+        assert main(["handshake", "--trace", str(tmp_path)]) == 0
+        import os
+
+        files = os.listdir(tmp_path)
+        assert files == ["handshake.jsonl"]
+        from repro.obs.report import stage_breakdown
+        from repro.obs.sinks import read_trace_records
+
+        records, skipped = read_trace_records(str(tmp_path / files[0]))
+        assert skipped == 0
+        stages = stage_breakdown(records)
+        assert "traversal" in stages
+
+    def test_batch_mode_writes_one_file_per_entry(self, tmp_path, capsys):
+        assert main(["batch-check", "handshake", "vme_read",
+                     "--trace", str(tmp_path)]) == 0
+        import os
+
+        files = sorted(os.listdir(tmp_path))
+        assert len(files) == 2
+        assert files[0].startswith("handshake-")
+        assert files[1].startswith("vme_read-")
+
+    def test_trace_does_not_change_verdicts_or_exit_code(
+            self, tmp_path, capsys):
+        assert main(["inconsistent", "--trace", str(tmp_path)]) == 1
+        assert "not SI-implementable" in capsys.readouterr().out
+
+    def test_untraced_run_writes_nothing(self, tmp_path, capsys):
+        assert main(["handshake"]) == 0
+        import os
+
+        assert os.listdir(tmp_path) == []

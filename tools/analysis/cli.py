@@ -22,14 +22,21 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from tools.analysis import baseline as baseline_module
-from tools.analysis import determinism, facade, lintpass, registry, schema
+from tools.analysis import (
+    determinism,
+    facade,
+    lintpass,
+    obspass,
+    registry,
+    schema,
+)
 from tools.analysis.core import RULES, Config, Finding, Project
 
 DEFAULT_PATHS = ("src", "tests", "tools")
 
 #: The passes, in report order.  Each is a module with
 #: ``run(project) -> List[Finding]``.
-PASSES = (determinism, schema, facade, registry, lintpass)
+PASSES = (determinism, schema, facade, registry, lintpass, obspass)
 
 
 @dataclass
@@ -101,7 +108,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m tools.analysis",
         description="Repo-specific static analysis: determinism, schema "
-                    "round-trips, facade purity, registry hygiene, lint.")
+                    "round-trips, facade purity, registry hygiene, lint, "
+                    "observability hygiene.")
     parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
                         help="files/directories to analyze "
                              "(default: src tests tools)")

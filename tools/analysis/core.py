@@ -87,6 +87,15 @@ RULES: Dict[str, Rule] = {rule.id: rule for rule in (
          "level", scope="all"),
     Rule("RA404", "duplicate-definition",
          "module-level function/class defined twice", scope="all"),
+    # observability-hygiene pass (RA5xx)
+    Rule("RA501", "dynamic-span-name",
+         "span/event/metric name is not a string literal; the report "
+         "layer aggregates by name, so runtime-minted names fragment "
+         "every breakdown (put variable data in keyword attributes)"),
+    Rule("RA502", "traced-fingerprint",
+         "obs emission inside a fingerprint / stable-view function; "
+         "tracing and metrics must never feed cache keys or the "
+         "byte-identical stable results"),
 )}
 
 

@@ -16,11 +16,16 @@ trajectory of the symbolic hot path is tracked in-repo::
 Per kernel row the harness records wall time (total and traversal-only),
 traversal iterations and image counts, the Reached-BDD peak/final sizes,
 the peak number of live manager nodes and the manager's operation-cache
-hit rate (the last two are 0/None on kernels that predate the counters,
-so the harness can benchmark old checkouts for before/after
-comparisons).  The ``bdd_cache`` section is the headline number of the
-persistent reachable-set cache: the warm sweep serves every reachable
-BDD from the store and must beat the cold sweep by a wide margin.
+hit rate.  Stat collection runs through :mod:`repro.obs` (an in-memory
+tracer around every row), so the hit rate comes from the traversal
+span's BDD delta -- the same numbers ``--trace`` files carry -- with
+the :class:`~repro.core.stats.TraversalStats` counters as fallback on
+old checkouts.  The ``tracing`` section commits the observability
+layer's own cost (no-op span nanoseconds, disabled-path and
+enabled-path overhead: disabled must stay under 2%).  The
+``bdd_cache`` section is the headline number of the persistent
+reachable-set cache: the warm sweep serves every reachable BDD from
+the store and must beat the cold sweep by a wide margin.
 
 The output schema is plain JSON (``schema`` marks revisions); a run
 captured on an older kernel can be embedded under ``"before"`` with
@@ -93,26 +98,59 @@ def build_row_stg(row: str):
     return parse_g(corpus.entry(row).g_text, name=row)
 
 
-def bench_kernel_row(row: str, repeats: int = 2) -> dict:
-    """Best-of-``repeats`` timing of one pipeline run (noise damping)."""
+def _traced_pipeline_run(stg, sink):
+    """One full pipeline run under ``repro.obs`` tracing; returns
+    ``(wall_s, traversal_s, pipeline)``.  ``sink=None`` runs with
+    tracing disabled (the no-op path)."""
+    from repro import obs
     from repro.core.pipeline import VerificationPipeline
 
-    stg = build_row_stg(row)
-    wall_s = traversal_s = float("inf")
-    pipeline = None
-    for _ in range(max(repeats, 1)):
-        start = time.perf_counter()
+    start = time.perf_counter()
+    with obs.tracing(name=stg.name, sink=sink):
         pipeline = VerificationPipeline(stg)
         traversal_start = time.perf_counter()
         pipeline.reached  # noqa: B018 - trigger the traversal on its own
-        traversal_s = min(traversal_s,
-                          time.perf_counter() - traversal_start)
+        traversal_s = time.perf_counter() - traversal_start
         pipeline.run()
-        wall_s = min(wall_s, time.perf_counter() - start)
+    return time.perf_counter() - start, traversal_s, pipeline
+
+
+def _traversal_cache_rate(records) -> "float | None":
+    """Hit rate from the traversal span's BDD operation-cache delta."""
+    from repro.obs.report import cache_breakdown
+
+    entry = cache_breakdown(records).get("traversal")
+    return entry["hit_rate"] if entry else None
+
+
+def bench_kernel_row(row: str, repeats: int = 2) -> dict:
+    """Best-of-``repeats`` timing of one pipeline run (noise damping).
+
+    Every repeat runs under a :class:`repro.obs.InMemorySink` tracer;
+    the cache hit rate comes from the traversal span's BDD delta (the
+    same numbers ``--trace`` files carry), with the stats counters as
+    fallback for kernels whose manager predates the obs layer -- so the
+    rate is only ever ``None`` when neither source exists.
+    """
+    from repro import obs
+
+    stg = build_row_stg(row)
+    wall_s = traversal_s = float("inf")
+    pipeline, best_records = None, []
+    for _ in range(max(repeats, 1)):
+        sink = obs.InMemorySink()
+        elapsed, repeat_traversal_s, pipeline = _traced_pipeline_run(
+            stg, sink)
+        traversal_s = min(traversal_s, repeat_traversal_s)
+        if elapsed < wall_s:
+            wall_s, best_records = elapsed, sink.records
 
     stats = pipeline.traversal_stats.to_dict()
-    hits = stats.get("cache_hits", 0)
-    lookups = stats.get("cache_lookups", 0)
+    rate = _traversal_cache_rate(best_records)
+    if rate is None:
+        hits = stats.get("cache_hits", 0)
+        lookups = stats.get("cache_lookups", 0)
+        rate = round(hits / lookups, 4) if lookups else None
     return {
         "name": row,
         "wall_s": round(wall_s, 4),
@@ -123,7 +161,58 @@ def bench_kernel_row(row: str, repeats: int = 2) -> dict:
         "bdd_final": stats.get("final_nodes"),
         "states": stats.get("num_states"),
         "peak_live_nodes": stats.get("peak_live_nodes", 0),
-        "cache_hit_rate": round(hits / lookups, 4) if lookups else None,
+        "cache_hit_rate": rate,
+    }
+
+
+def bench_tracing_overhead(row: str = "muller_pipeline_4",
+                           repeats: int = 3,
+                           noop_loops: int = 200_000) -> dict:
+    """The cost of the observability layer itself, committed in-repo.
+
+    Three numbers:
+
+    * ``noop_span_ns`` -- per-call cost of ``obs.span(...)`` with no
+      tracer active (one ContextVar read + a None test);
+    * ``disabled_overhead_pct`` -- that no-op cost times the number of
+      emission sites one pipeline run actually hits, as a fraction of
+      the untraced wall time: the overhead the instrumentation adds
+      when tracing is *off* (the <2 percent contract);
+    * ``enabled_overhead_pct`` -- full-tracing (in-memory sink) wall
+      time against the disabled path, best-of-``repeats`` each.
+    """
+    from repro import obs
+
+    stg = build_row_stg(row)
+    disabled_s = min(_traced_pipeline_run(stg, None)[0]
+                     for _ in range(max(repeats, 1)))
+    enabled_s = float("inf")
+    emissions = 0
+    for _ in range(max(repeats, 1)):
+        sink = obs.InMemorySink()
+        elapsed = _traced_pipeline_run(stg, sink)[0]
+        if elapsed < enabled_s:
+            enabled_s, emissions = elapsed, len(sink.records)
+
+    start = time.perf_counter()
+    for _ in range(noop_loops):
+        with obs.span("bench-noop"):
+            pass
+    noop_span_ns = (time.perf_counter() - start) / noop_loops * 1e9
+
+    disabled_overhead_s = emissions * noop_span_ns * 1e-9
+    return {
+        "row": row,
+        "noop_span_ns": round(noop_span_ns, 1),
+        "emission_sites": emissions,
+        "disabled_s": round(disabled_s, 4),
+        "enabled_s": round(enabled_s, 4),
+        "disabled_overhead_pct": round(
+            disabled_overhead_s / disabled_s * 100.0, 4)
+        if disabled_s else None,
+        "enabled_overhead_pct": round(
+            (enabled_s - disabled_s) / disabled_s * 100.0, 2)
+        if disabled_s else None,
     }
 
 
@@ -207,6 +296,14 @@ def main() -> int:
               f"iters={result['iterations']:<3} "
               f"peak={result['bdd_peak']:<6} "
               f"hit-rate={rate if rate is not None else '-'}")
+
+    print("bench: tracing overhead (no-op span path) ...")
+    report["tracing"] = bench_tracing_overhead()
+    print(f"  noop-span={report['tracing']['noop_span_ns']}ns "
+          f"disabled-overhead="
+          f"{report['tracing']['disabled_overhead_pct']}% "
+          f"enabled-overhead="
+          f"{report['tracing']['enabled_overhead_pct']}%")
 
     if not arguments.kernel_only:
         sweep = QUICK_SWEEP if arguments.quick else FULL_SWEEP

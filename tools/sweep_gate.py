@@ -17,6 +17,10 @@ so the distributed-sweep contract is checkable on any machine:
    byte-identical stable JSON: a served reachable set must reproduce
    the cold verdicts exactly (only timing fields may differ, and those
    are excluded from the stable view).
+4. **Trace parity** -- the same sweep untraced and with ``--trace DIR``
+   must produce byte-identical stable JSON (and the traced run must
+   actually write per-entry trace files): observability is excluded
+   from fingerprints and can never perturb a verdict.
 
 Every ``batch-check`` call is a real subprocess with a *different*
 ``PYTHONHASHSEED``, so the gate also proves the stable output is
@@ -133,12 +137,39 @@ def check_bdd_cache_parity(workdir):
     return True
 
 
+def check_trace_parity(workdir):
+    print("sweep-gate: trace parity (untraced vs --trace sweep) ...")
+    trace_dir = os.path.join(workdir, "traces")
+    outputs = {}
+    for seed, (label, arguments) in enumerate((
+            ("untraced", []),
+            ("traced", ["--trace", trace_dir])), start=700):
+        path = os.path.join(workdir, f"trace-{label}.json")
+        batch_check([*arguments, "--jobs", "2", "--stable-json", path],
+                    seed=seed)
+        outputs[label] = read(path)
+    if outputs["traced"] != outputs["untraced"]:
+        print("sweep-gate: FAIL: stable JSON differs with --trace on; "
+              "observability leaked into the results")
+        return False
+    traces = [name for name in os.listdir(trace_dir)
+              if name.endswith(".jsonl")] if os.path.isdir(trace_dir) else []
+    if not traces:
+        print("sweep-gate: FAIL: --trace produced no per-entry trace "
+              "files")
+        return False
+    print(f"sweep-gate: ok: traced sweep byte-identical to untraced "
+          f"({len(traces)} per-entry trace files written)")
+    return True
+
+
 def main():
     workdir = tempfile.mkdtemp(prefix="repro-sweep-gate-")
     try:
         passed = check_backend_parity(workdir)
         passed = check_shard_merge(workdir) and passed
         passed = check_bdd_cache_parity(workdir) and passed
+        passed = check_trace_parity(workdir) and passed
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
     if not passed:

@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Aggregate report over the per-entry trace files of a sweep.
+
+``batch-check --trace DIR`` writes one JSON-lines trace per swept entry
+(keyed by the entry's content fingerprint, see
+:class:`repro.obs.sinks.JSONLSink`).  This tool reads one or more such
+directories -- e.g. the pooled ``stores/shard-*/traces`` artifacts of
+the CI matrix -- and renders the cross-entry view:
+
+* the top-N slowest entries (traced wall time, with provenance);
+* the per-stage breakdown (self time, which telescopes: the stage
+  shares sum to the total traced wall time);
+* the per-stage BDD operation-cache efficiency table.
+
+Reading is salvage-friendly: corrupt or truncated trailing lines (a
+killed sweep) are skipped with a :class:`~repro.obs.sinks.TraceReadWarning`
+and counted in the report, never fatal.
+
+Exit status: 0 on success, 1 when no trace files were found (or a
+directory is missing), 2 on usage errors.  ``--json`` emits the same
+aggregate as a machine-readable document (``schema`` 1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+import warnings
+from typing import Dict, List
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.obs.report import (  # noqa: E402
+    merge_cache_tables,
+    merge_stage_tables,
+    trace_summary,
+)
+from repro.obs.sinks import TraceReadWarning, read_trace_records  # noqa: E402
+
+#: Version of the ``--json`` document layout.
+SCHEMA = 1
+
+
+def collect_trace_files(directories: List[str]) -> List[str]:
+    """Every ``*.jsonl`` under the given directories, sorted by name."""
+    files: List[str] = []
+    for directory in directories:
+        if not os.path.isdir(directory):
+            raise FileNotFoundError(directory)
+        files.extend(glob.glob(os.path.join(directory, "*.jsonl")))
+    return sorted(files, key=os.path.basename)
+
+
+def load_summaries(files: List[str]) -> Dict[str, object]:
+    """Per-entry summaries plus the salvage count over many trace files."""
+    summaries = []
+    skipped_lines = 0
+    with warnings.catch_warnings():
+        warnings.simplefilter("always", TraceReadWarning)
+        for path in files:
+            records, skipped = read_trace_records(path)
+            skipped_lines += skipped
+            if not records:
+                continue
+            summary = trace_summary(records)
+            summary["file"] = os.path.basename(path)
+            summaries.append(summary)
+    return {"summaries": summaries, "skipped_lines": skipped_lines}
+
+
+def aggregate(directories: List[str], top: int) -> Dict[str, object]:
+    """The full report document over the trace directories."""
+    files = collect_trace_files(directories)
+    loaded = load_summaries(files)
+    summaries = loaded["summaries"]
+    slowest = sorted(summaries, key=lambda s: s.get("wall_s") or 0.0,
+                     reverse=True)[:max(top, 0)]
+    return {
+        "schema": SCHEMA,
+        "directories": list(directories),
+        "trace_files": len(files),
+        "entries": len(summaries),
+        "skipped_lines": loaded["skipped_lines"],
+        "wall_s": round(sum(float(s.get("wall_s") or 0.0)
+                            for s in summaries), 6),
+        "slowest": [
+            {"entry": s.get("entry"), "fingerprint": s.get("fingerprint"),
+             "wall_s": s.get("wall_s"), "provenance": s.get("provenance"),
+             "file": s.get("file")}
+            for s in slowest],
+        "stages": merge_stage_tables(summaries),
+        "cache": merge_cache_tables(summaries),
+    }
+
+
+def render(document: Dict[str, object]) -> str:
+    """The human-readable form of one aggregate document."""
+    lines = [f"trace-report: {document['entries']} entries "
+             f"from {document['trace_files']} trace files "
+             f"(wall={document['wall_s']:.3f}s)"]
+    if document["skipped_lines"]:
+        lines.append(f"  salvage: skipped {document['skipped_lines']} "
+                     f"corrupt trace lines")
+
+    slowest = document["slowest"]
+    if slowest:
+        lines.append(f"slowest {len(slowest)} entries:")
+        width = max(len(str(s["entry"])) for s in slowest)
+        for item in slowest:
+            provenance = item.get("provenance") or {}
+            where = (f" [{provenance.get('backend')}"
+                     f"/shard {provenance.get('shard')}]"
+                     if provenance else "")
+            lines.append(f"  {str(item['entry']):<{width}} "
+                         f"{float(item['wall_s'] or 0.0):8.3f}s{where}")
+
+    stages = document["stages"]
+    if stages:
+        total_self = sum(entry["self_s"] for entry in stages.values())
+        lines.append("per-stage breakdown (self time):")
+        ordered = sorted(stages.items(),
+                         key=lambda item: item[1]["self_s"], reverse=True)
+        for label, entry in ordered:
+            share = (entry["self_s"] / total_self * 100.0
+                     if total_self else 0.0)
+            lines.append(f"  {label:<24} self={entry['self_s']:9.3f}s "
+                         f"({share:5.1f}%)  total={entry['total_s']:9.3f}s "
+                         f"n={entry['count']}")
+
+    cache = document["cache"]
+    if cache:
+        lines.append("BDD cache efficiency:")
+        for label, entry in sorted(cache.items()):
+            rate = entry["hit_rate"]
+            lines.append(f"  {label:<24} lookups={entry['lookups']:<10} "
+                         f"hits={entry['hits']:<10} "
+                         f"evictions={entry['evictions']:<8} "
+                         f"hit-rate={rate if rate is not None else '-'}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="trace_report",
+        description="Aggregate report over per-entry sweep trace files.")
+    parser.add_argument("directories", nargs="+", metavar="DIR",
+                        help="trace directories (pooled shard artifacts "
+                             "may be passed together)")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="number of slowest entries to list "
+                             "(default: 10)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the aggregate as JSON instead of text")
+    try:
+        arguments = parser.parse_args(argv)
+    except SystemExit as error:
+        # argparse exits 2 on usage errors already; normalise the success
+        # path of --help back through.
+        return int(error.code or 0)
+
+    try:
+        document = aggregate(arguments.directories, arguments.top)
+    except FileNotFoundError as error:
+        print(f"trace-report: no such trace directory: {error.args[0]}",
+              file=sys.stderr)
+        return 1
+    if document["trace_files"] == 0:
+        print("trace-report: no trace files found", file=sys.stderr)
+        return 1
+
+    if arguments.as_json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(render(document))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Piped into `head`: the consumer closing early is not an error.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)
