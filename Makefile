@@ -14,11 +14,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check ci lint analyze test test-ci smoke sweep-gate bench bench-pytest
+.PHONY: check ci lint analyze test test-ci smoke serve-smoke sweep-gate \
+	bench bench-pytest
 
 check: lint analyze test smoke
 
-ci: lint analyze test-ci sweep-gate
+ci: lint analyze test-ci sweep-gate serve-smoke
 
 lint:
 	$(PYTHON) tools/lint.py src tests tools
@@ -39,10 +40,18 @@ smoke:
 sweep-gate:
 	$(PYTHON) tools/sweep_gate.py
 
-# The tracked benchmark harness: kernel rows + cold/warm --bdd-cache
-# sweep, written to BENCH_sweep.json (mirrors the non-gating CI job).
+# Boot a real `repro serve` daemon and walk the lifecycle: cold stream,
+# warm cached repeat, raw .g text, /metrics scrape, drained shutdown
+# (mirrors the CI serve job).
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py
+
+# The tracked benchmark harnesses: kernel rows + cold/warm --bdd-cache
+# sweep to BENCH_sweep.json, then the serve-daemon load test (8
+# concurrent clients, cold vs warm p50/p99) to BENCH_serve.json.
 bench:
 	$(PYTHON) tools/bench.py --quick
+	$(PYTHON) tools/load_test.py --output BENCH_serve.json
 
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks --benchmark-only

@@ -39,7 +39,11 @@ from repro.api.checks import (
     supported_checks,
     unregister_check,
 )
-from repro.api.config import TRAVERSAL_STRATEGIES, EngineConfig
+from repro.api.config import (
+    EXECUTION_KNOB_FIELDS,
+    TRAVERSAL_STRATEGIES,
+    EngineConfig,
+)
 from repro.api.errors import ApiError, UnknownCheckError, UnknownEngineError
 from repro.api.facade import run, validate_arbitration_places, verify
 from repro.engines import EngineRun
@@ -50,6 +54,7 @@ __all__ = [
     "CheckSpec",
     "EngineConfig",
     "EngineRun",
+    "EXECUTION_KNOB_FIELDS",
     "TRAVERSAL_STRATEGIES",
     "UnknownCheckError",
     "UnknownEngineError",

@@ -31,6 +31,14 @@ from repro.api.errors import ApiError
 #: Valid symbolic traversal strategies (Figure 5 chained vs frontier).
 TRAVERSAL_STRATEGIES = ("chained", "frontier")
 
+#: Config fields that are pure execution/observability knobs: they steer
+#: *where and how fast* a verdict is computed (and whether anyone
+#: watched), never *what* is computed.  Excluded from every cache
+#: fingerprint (:attr:`repro.runner.plan.SweepTask.fingerprint`) and
+#: stripped from client-supplied configs by the ``repro.serve`` daemon,
+#: which owns its own cache directories.
+EXECUTION_KNOB_FIELDS = ("timeout", "bdd_cache_dir", "trace_dir")
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -129,6 +137,18 @@ class EngineConfig:
     def with_overrides(self, **changes: object) -> "EngineConfig":
         """A copy with the given fields replaced (re-validated)."""
         return replace(self, **changes)
+
+    def without_execution_knobs(self) -> "EngineConfig":
+        """A copy with every :data:`EXECUTION_KNOB_FIELDS` field reset.
+
+        The semantic core of the config: two configs that agree on this
+        view compute identical verdicts.  The serve daemon normalises
+        client configs through it before stamping its own cache
+        directories on.
+        """
+        defaults = {spec.name: spec.default for spec in fields(self)
+                    if spec.name in EXECUTION_KNOB_FIELDS}
+        return replace(self, **defaults)
 
     # ------------------------------------------------------------------
     # The one serialised schema (workers, cache fingerprints, --json)

@@ -35,9 +35,10 @@ import hashlib
 import json
 import os
 import re
+import threading
 import time
 import warnings
-from typing import Optional, TextIO, Tuple
+from typing import Dict, Optional, TextIO, Tuple
 
 from repro.bdd import serialize
 from repro.bdd.function import Function
@@ -77,6 +78,12 @@ def reachable_fingerprint(g_text: str, config) -> str:
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
+#: Process-wide store instances keyed by absolute directory (see
+#: :meth:`BDDStore.shared`).
+_SHARED_STORES: Dict[str, "BDDStore"] = {}
+_SHARED_STORES_LOCK = threading.Lock()
+
+
 class BDDStore:
     """File-per-entry persistent cache of serialised reachable BDDs."""
 
@@ -88,6 +95,27 @@ class BDDStore:
         self.misses = 0
         self.invalidations = 0
         self.warm_starts = 0
+
+    @classmethod
+    def shared(cls, directory: str) -> "BDDStore":
+        """The process-wide store instance of ``directory``.
+
+        Every consumer of the same cache directory -- each entry of a
+        thread-backend sweep, every request of the ``repro.serve``
+        daemon -- gets the *same* object, so the effectiveness counters
+        aggregate across runs (the daemon's warm-repeat tests and
+        ``/metrics`` read exactly these).  Safe to share: lookups
+        deserialise into the caller's own manager and writes are
+        atomic temp-file renames, so concurrent users never observe a
+        half-written entry; the counters are diagnostics, not verdict
+        material.
+        """
+        key = os.path.abspath(directory)
+        with _SHARED_STORES_LOCK:
+            store = _SHARED_STORES.get(key)
+            if store is None:
+                store = _SHARED_STORES[key] = cls(key)
+            return store
 
     def _path(self, name: str) -> str:
         return os.path.join(self.directory,

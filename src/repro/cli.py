@@ -28,6 +28,12 @@ per-property verdict against the registry's expected metadata::
     stg-check batch-check --merge shard-0 shard-1 --cache-dir merged
     stg-check batch-check --cache-dir store --cache-gc entries=1000,age=7d
     stg-check batch-check --bdd-cache bdd-store --checks csc --profile 5
+
+The ``serve`` mode starts the always-warm verification daemon
+(:mod:`repro.serve`)::
+
+    stg-check serve --port 8642 --jobs 4
+    stg-check serve --port 0 --state-dir .repro-serve   # free port
 """
 
 from __future__ import annotations
@@ -239,6 +245,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "batch-check":
         return batch_check_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve import serve_main
+
+        return serve_main(argv[1:])
     parser = build_argument_parser()
     arguments = parser.parse_args(argv)
     try:
@@ -292,8 +302,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if arguments.liveness or arguments.synthesize:
             _run_extras(stg, arguments, config, report, outcome.pipeline)
     if arguments.checks is not None:
-        # A subset run has no classification; succeed iff every verdict
-        # that was actually checked holds.
+        # A subset run classifies as 'partial' (the class is undecided);
+        # succeed iff every verdict that was actually checked holds.
         return 0 if all(v.holds for v in report.verdicts) else 1
     return 0 if report.io_implementable else 1
 

@@ -56,14 +56,20 @@ def mismatches_against(expected: Mapping[str, object],
     both compare via ``str``).  Expected keys whose report field is
     ``None`` (not computed by the engine that produced the report, e.g.
     deadlock freedom on the explicit engine) are skipped rather than
-    counted as mismatches.
+    counted as mismatches; so is the ``partial`` classification of a
+    check-subset run -- the class is *undecided* there, which is not
+    evidence against the recorded one.
     """
+    from repro.report import ImplementabilityClass
+
     problems: List[str] = []
     for key, wanted in expected.items():
         observed = getattr(report, REPORT_FIELDS[key])
         if observed is None:
             continue
         if key == "classification":
+            if str(observed) == str(ImplementabilityClass.PARTIAL):
+                continue
             if str(observed) != str(wanted):
                 problems.append(
                     f"{key}: expected {wanted}, observed {observed}")

@@ -142,7 +142,10 @@ class SymbolicEngine:
         if config.bdd_cache_dir:
             from repro.cache import BDDStore, bind_pipeline
 
-            bind_pipeline(pipeline, BDDStore(config.bdd_cache_dir),
+            # One store object per cache directory, process-wide: the
+            # serve daemon and thread-backend sweeps share it, so its
+            # effectiveness counters aggregate across runs.
+            bind_pipeline(pipeline, BDDStore.shared(config.bdd_cache_dir),
                           name=stg.name, config=config)
         report = pipeline.run(checks=list(checks))
         traversal = (pipeline.traversal_stats.to_dict()

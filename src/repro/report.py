@@ -15,12 +15,21 @@ from typing import Dict, List, Mapping, Optional
 
 
 class ImplementabilityClass(Enum):
-    """The hierarchy of Definition 2.6 (plus the failure class)."""
+    """The hierarchy of Definition 2.6 (plus the failure class).
+
+    :attr:`PARTIAL` is not a rung of the hierarchy: it is the explicit
+    verdict of a ``checks=`` subset run that left the class undecided
+    (basics unchecked, CSC unchecked, ...), so summaries and ``--json``
+    reports say *why* there is no class instead of silently omitting it.
+    Corpus expected metadata never records it -- a full run always
+    decides a real class.
+    """
 
     NOT_IMPLEMENTABLE = "not SI-implementable"
     SI = "SI-implementable (interface may change)"
     IO = "I/O-implementable"
     GATE = "gate-implementable"
+    PARTIAL = "partial (check subset left the class undecided)"
 
     def __str__(self) -> str:
         return self.value
@@ -102,30 +111,32 @@ class ImplementabilityReport:
         return all(parts)
 
     @property
-    def classification(self) -> Optional[ImplementabilityClass]:
+    def classification(self) -> ImplementabilityClass:
         """Implementability class per Definition 2.6 / Propositions 3.1-3.2.
 
-        ``None`` when a partial ``checks=`` run left the class undecided:
-        the basics (boundedness, consistency, persistency) unchecked, CSC
-        unchecked, or -- with CSC failing -- the reducibility check not
-        run at all.  A reducibility check that *ran* but left only
-        commutativity undecided still classifies as SI (the undecided
-        verdict blocks the I/O upgrade, not the classification).
+        :attr:`ImplementabilityClass.PARTIAL` when a partial ``checks=``
+        run left the class undecided: the basics (boundedness,
+        consistency, persistency) unchecked, CSC unchecked, or -- with
+        CSC failing -- the reducibility check not run at all.  A
+        reducibility check that *ran* but left only commutativity
+        undecided still classifies as SI (the undecided verdict blocks
+        the I/O upgrade, not the classification).
         """
         basics = (self.bounded, self.consistent, self.output_persistent)
         if any(part is None for part in basics):
-            return None
+            return ImplementabilityClass.PARTIAL
         basic = all(bool(part) for part in basics)
         if not basic:
             return ImplementabilityClass.NOT_IMPLEMENTABLE
         if self.csc is None:
-            return None
+            return ImplementabilityClass.PARTIAL
         if self.csc:
             return ImplementabilityClass.GATE
         reducibility_parts = (self.deterministic, self.commutative,
                               self.complementary_free)
         if all(part is None for part in reducibility_parts):
-            return None  # the reducibility check never ran
+            # the reducibility check never ran
+            return ImplementabilityClass.PARTIAL
         if self.csc_reducible:
             return ImplementabilityClass.IO
         return ImplementabilityClass.SI
@@ -162,8 +173,7 @@ class ImplementabilityReport:
         ]
         for verdict in self.verdicts:
             lines.append(f"  {verdict}")
-        if self.classification is not None:
-            lines.append(f"  classification: {self.classification}")
+        lines.append(f"  classification: {self.classification}")
         if self.bdd_peak_nodes is not None:
             lines.append(f"  BDD nodes: peak {self.bdd_peak_nodes}, "
                          f"final {self.bdd_final_nodes} "
@@ -180,9 +190,10 @@ class ImplementabilityReport:
     def to_dict(self) -> Dict[str, object]:
         """Lossless, JSON-serialisable form of every dataclass field.
 
-        Derived properties (``classification``, ``csc_reducible``) are
-        *not* stored: :meth:`from_dict` restores the underlying fields and
-        the properties recompute identically, so
+        The derived ``classification`` is additionally rendered (as its
+        string form) so ``--json`` reports and cached records carry the
+        verdict explicitly; :meth:`from_dict` ignores it and recomputes
+        the property from the restored fields, so
         ``from_dict(to_dict(report)) == report`` holds exactly.  This is
         the schema the :mod:`repro.runner` workers ship across process
         boundaries and the :class:`~repro.runner.store.RunStore` persists.
@@ -195,6 +206,7 @@ class ImplementabilityReport:
             elif spec.name == "timings":
                 value = dict(value)
             data[spec.name] = value
+        data["classification"] = str(self.classification)
         return data
 
     @classmethod
@@ -226,8 +238,7 @@ class ImplementabilityReport:
             "fake_free": self.fake_free,
             "deadlock_free": self.deadlock_free,
             "reversible": self.reversible,
-            "classification": (str(self.classification)
-                               if self.classification is not None else None),
+            "classification": str(self.classification),
             "bdd_peak": self.bdd_peak_nodes,
             "bdd_final": self.bdd_final_nodes,
             "timings": dict(self.timings),

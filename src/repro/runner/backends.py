@@ -8,7 +8,7 @@ name registry with did-you-mean errors, and built-in implementations::
 
     from repro.runner import backends
 
-    backends.available()            # ["process", "thread", "serial"]
+    backends.available()       # ["process", "thread", "serial", "asyncio"]
     backend = backends.get("thread")
 
     backends.register("remote", MyRemoteBackend())   # plug-ins welcome
@@ -35,10 +35,19 @@ pin exactly that).  The differences are operational:
     Plain in-process loop, ignoring ``jobs``.  The reference
     implementation the others are compared against, and the easiest to
     debug (a ``pdb`` session sees the whole sweep).
+``asyncio``
+    An asyncio event loop driving a ``jobs``-wide thread pool through
+    :func:`~repro.runner.worker.execute_payload_async` -- the exact
+    machinery the :mod:`repro.serve` daemon schedules requests with, so
+    the service's execution path is a first-class, parity-gated sweep
+    backend.  Operationally like ``thread`` (no timeout enforcement,
+    shared process); the event loop is owned by ``execute`` and must
+    not already be running on the calling thread.
 """
 
 from __future__ import annotations
 
+import asyncio
 import multiprocessing
 import time
 from collections import deque
@@ -56,7 +65,11 @@ except ImportError:  # pragma: no cover
 from repro.api.errors import suggest
 from repro.runner.plan import PlanError, SweepTask
 from repro.runner.results import EntryResult
-from repro.runner.worker import child_main, execute_payload
+from repro.runner.worker import (
+    child_main,
+    execute_payload,
+    execute_payload_async,
+)
 
 #: One unit of backend work: the task plus its position in the shard's
 #: result list (``emit`` must be called with exactly that position).
@@ -196,6 +209,45 @@ class ThreadBackend:
             list(pool.map(run_one, items))
 
 
+class AsyncioBackend:
+    """An event loop scheduling tasks onto a bounded thread pool.
+
+    The sweep-facing face of the :mod:`repro.serve` execution machinery:
+    each work item becomes a coroutine that awaits
+    :func:`~repro.runner.worker.execute_payload_async` under a
+    ``jobs``-wide semaphore, exactly how the daemon's worker coroutines
+    run queued jobs.  Results are emitted from the event-loop thread as
+    their coroutines complete; like every backend, the runner re-orders
+    them into plan order, so stable JSON is byte-identical with
+    ``process``/``thread``/``serial`` (the sweep gate proves it).
+
+    ``execute`` owns its event loop via :func:`asyncio.run`; calling it
+    from a thread that already runs a loop is an error (the daemon does
+    not -- it awaits the shared primitive directly).
+    """
+
+    name = "asyncio"
+    supports_timeouts = False
+
+    def execute(self, items: Sequence[WorkItem], jobs: int,
+                emit: EmitCallback) -> None:
+        asyncio.run(self._execute(list(items), max(1, jobs), emit))
+
+    async def _execute(self, items: Sequence[WorkItem], jobs: int,
+                       emit: EmitCallback) -> None:
+        semaphore = asyncio.Semaphore(jobs)
+
+        async def run_one(position: int, task: SweepTask) -> None:
+            async with semaphore:
+                result = await execute_payload_async(
+                    task.to_payload(), executor=pool)
+            emit(position, EntryResult.from_dict(result))
+
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            await asyncio.gather(*(run_one(position, task)
+                                   for position, task in items))
+
+
 class ProcessBackend:
     """One worker process per task, bounded concurrency (the default).
 
@@ -297,3 +349,4 @@ class ProcessBackend:
 register("process", ProcessBackend())
 register("thread", ThreadBackend())
 register("serial", SerialBackend())
+register("asyncio", AsyncioBackend())

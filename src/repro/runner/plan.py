@@ -23,14 +23,17 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.api.config import EngineConfig
+from repro.api.config import EXECUTION_KNOB_FIELDS, EngineConfig
 
 #: Bump when the worker result schema changes incompatibly; part of every
 #: task fingerprint, so a schema change invalidates old cache records.
 #: (2: engine configuration serialised as EngineConfig.to_dict();
 #:  3: the check selection joined the fingerprint material -- a sweep
-#:     running a ``--checks`` subset computes different verdicts.)
-SCHEMA_VERSION = 3
+#:     running a ``--checks`` subset computes different verdicts;
+#:  4: report dicts render the derived classification explicitly --
+#:     including the ``partial`` verdict of subset runs -- so records
+#:     written by older schemas would not be byte-identical.)
+SCHEMA_VERSION = 4
 
 
 class PlanError(ValueError):
@@ -139,7 +142,7 @@ class SweepTask:
         Covers everything that determines the verdict: the canonical
         ``.g`` text, the engine configuration
         (:meth:`~repro.api.config.EngineConfig.to_dict`, minus the
-        execution knobs ``timeout`` and ``bdd_cache_dir``), the check
+        :data:`~repro.api.config.EXECUTION_KNOB_FIELDS`), the check
         selection, the expected metadata the mismatch check runs
         against, and the result schema version.  Execution knobs
         (timeout, delay, BDD-cache directory, trace directory)
@@ -148,9 +151,8 @@ class SweepTask:
         verdict.
         """
         config = self.config.to_dict()
-        config.pop("timeout", None)
-        config.pop("bdd_cache_dir", None)
-        config.pop("trace_dir", None)
+        for knob in EXECUTION_KNOB_FIELDS:
+            config.pop(knob, None)
         material = json.dumps(
             {"schema": SCHEMA_VERSION, "g_text": self.g_text,
              "config": config,

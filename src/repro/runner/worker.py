@@ -14,15 +14,24 @@ engine exceptions) is caught and reported as an ``error`` result, so one
 poisoned entry never kills the sweep; only the process-level failures
 (crash, timeout) are handled by the pool scheduler.
 
+:func:`execute_payload_async` is the asynchronous face of the same
+primitive: it runs :func:`execute_payload` on an executor thread without
+blocking the event loop, propagating the caller's context (so an
+activated :mod:`repro.obs` tracer keeps receiving the entry's spans).
+The ``asyncio`` backend and the :mod:`repro.serve` daemon are both built
+on it.
+
 Both :func:`execute_payload` and :func:`child_main` are module-level
 functions so they pickle under every multiprocessing start method.
 """
 
 from __future__ import annotations
 
+import asyncio
+import contextvars
 import time
 import traceback
-from typing import Dict
+from typing import Dict, Optional
 
 from repro import obs
 from repro.runner.results import EntryResult
@@ -76,6 +85,27 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
                     duration=time.perf_counter() - start)
             entry_span.annotate(status=result.status)
     return result.to_dict()
+
+
+async def execute_payload_async(payload: Dict[str, object],
+                                executor: Optional[object] = None
+                                ) -> Dict[str, object]:
+    """Run one task payload on ``executor`` without blocking the loop.
+
+    The one async execution primitive: the ``asyncio`` backend bounds it
+    with a semaphore per work item, and the ``repro.serve`` daemon's
+    worker coroutines call it per job.  ``executor`` is a
+    ``concurrent.futures`` executor (the event loop's default thread
+    pool when ``None``).  The payload executes in a *copy of the
+    caller's context*: ``loop.run_in_executor`` does not propagate
+    contextvars by itself, so without the copy a request-scoped
+    :mod:`repro.obs` tracer activated around this call would lose every
+    span the entry emits on the executor thread.
+    """
+    loop = asyncio.get_running_loop()
+    context = contextvars.copy_context()
+    return await loop.run_in_executor(
+        executor, lambda: context.run(execute_payload, payload))
 
 
 def _check(payload: Dict[str, object]):

@@ -1,0 +1,171 @@
+"""A stdlib blocking client for the verification daemon.
+
+:class:`ServeClient` speaks the :mod:`repro.serve.protocol` schema over
+``http.client`` -- no extra dependencies, usable from tests, the load
+harness (``tools/load_test.py``) and scripts alike::
+
+    from repro.serve import ServeClient
+
+    client = ServeClient(port=8642)
+    result = client.check(entry="vme_read")          # terminal event
+    result["stable"]                                  # batch-check parity
+    for event in client.check_stream(entry="vme_read"):
+        ...                                           # live progress
+
+``http.client`` decodes chunked transfer-encoding transparently and the
+response object supports line iteration, which is all the JSONL stream
+needs.  Every call opens one connection (the daemon answers
+``Connection: close``), so a client object is cheap and stateless.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Dict, Iterator, Optional, Sequence
+
+from repro.serve.protocol import TERMINAL_EVENTS
+
+
+class ServeClientError(RuntimeError):
+    """An HTTP-level or protocol-level failure reported by the daemon."""
+
+    def __init__(self, message: str, status: int = 0,
+                 payload: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServeClient:
+    """Blocking HTTP client of one ``repro.serve`` daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+    def check(self, entry: Optional[str] = None,
+              g_text: Optional[str] = None, name: Optional[str] = None,
+              config: Optional[Dict[str, object]] = None,
+              checks: Optional[Sequence[str]] = None,
+              delay: float = 0.0) -> Dict[str, object]:
+        """Run one check and return the terminal ``result`` event.
+
+        Uses the non-streaming protocol (one JSON response).  A terminal
+        ``error`` event -- and any HTTP error -- raises
+        :class:`ServeClientError`.
+        """
+        body = self._check_body(entry, g_text, name, config, checks,
+                                delay, stream=False)
+        response = self._request("POST", "/check", body)
+        payload = self._read_json(response)
+        if response.status != 200 or payload.get("type") != "result":
+            raise ServeClientError(
+                str(payload.get("error", f"HTTP {response.status}")),
+                status=response.status, payload=payload)
+        return payload
+
+    def check_stream(self, entry: Optional[str] = None,
+                     g_text: Optional[str] = None,
+                     name: Optional[str] = None,
+                     config: Optional[Dict[str, object]] = None,
+                     checks: Optional[Sequence[str]] = None,
+                     delay: float = 0.0) -> Iterator[Dict[str, object]]:
+        """Yield the event stream of one check, ending on the terminal
+        event (which is yielded too, never raised: streaming callers see
+        the protocol verbatim)."""
+        body = self._check_body(entry, g_text, name, config, checks,
+                                delay, stream=True)
+        response = self._request("POST", "/check", body)
+        if response.status != 200:
+            payload = self._read_json(response)
+            raise ServeClientError(
+                str(payload.get("error", f"HTTP {response.status}")),
+                status=response.status, payload=payload)
+        try:
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line.decode("utf-8"))
+                yield event
+                if event.get("type") in TERMINAL_EVENTS:
+                    return
+        finally:
+            response.close()
+
+    @staticmethod
+    def _check_body(entry, g_text, name, config, checks, delay,
+                    stream) -> Dict[str, object]:
+        body: Dict[str, object] = {"stream": stream}
+        if entry is not None:
+            body["entry"] = entry
+        if g_text is not None:
+            body["g_text"] = g_text
+        if name is not None:
+            body["name"] = name
+        if config is not None:
+            body["config"] = dict(config)
+        if checks is not None:
+            body["checks"] = list(checks)
+        if delay:
+            body["delay"] = delay
+        return body
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, object]:
+        """The daemon's metrics snapshot (``GET /metrics``)."""
+        return self._simple("GET", "/metrics")
+
+    def health(self) -> Dict[str, object]:
+        """Liveness and schema info (``GET /healthz``)."""
+        return self._simple("GET", "/healthz")
+
+    def shutdown(self) -> Dict[str, object]:
+        """Ask the daemon to drain and stop (``POST /shutdown``)."""
+        return self._simple("POST", "/shutdown")
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _simple(self, method: str, path: str) -> Dict[str, object]:
+        response = self._request(method, path)
+        payload = self._read_json(response)
+        if response.status != 200:
+            raise ServeClientError(
+                str(payload.get("error", f"HTTP {response.status}")),
+                status=response.status, payload=payload)
+        return payload
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, object]] = None):
+        connection = HTTPConnection(self.host, self.port,
+                                    timeout=self.timeout)
+        encoded = (json.dumps(body).encode("utf-8")
+                   if body is not None else None)
+        headers = {"Content-Type": "application/json"} if encoded else {}
+        try:
+            connection.request(method, path, body=encoded, headers=headers)
+            return connection.getresponse()
+        except OSError as error:
+            connection.close()
+            raise ServeClientError(
+                f"cannot reach daemon at {self.host}:{self.port}: "
+                f"{error}") from None
+
+    @staticmethod
+    def _read_json(response) -> Dict[str, object]:
+        try:
+            with response:
+                return json.loads(response.read().decode("utf-8"))
+        except ValueError as error:
+            raise ServeClientError(
+                f"daemon sent unparseable JSON: {error}",
+                status=response.status) from None

@@ -20,6 +20,29 @@ class TestFiring:
         assert "repro.api" in shim.message
 
 
+class TestServeFiring:
+    FIXTURE = "repro/serve/uses_engine_internals.py"
+
+    def test_marked_lines_fire(self, run_pass, expected_lines):
+        findings = run_pass(facade, self.FIXTURE)
+        assert sorted(f.line for f in findings if f.rule == "RA203") == \
+            expected_lines(self.FIXTURE, "RA203")
+
+    def test_serve_violations_do_not_double_report(self, run_pass):
+        # The serve fragments are not frontend fragments: one violation,
+        # one rule.
+        findings = run_pass(facade, self.FIXTURE)
+        assert {f.rule for f in findings} == {"RA203"}
+
+    def test_messages_point_at_the_facade(self, run_pass):
+        findings = run_pass(facade, self.FIXTURE)
+        assert all("repro.api" in f.message for f in findings)
+
+
+def test_transport_only_serve_code_is_clean(run_pass):
+    assert run_pass(facade, "repro/serve/transport_only.py") == []
+
+
 def test_facade_only_frontend_is_clean(run_pass):
     assert run_pass(facade, "repro/runner/facade_only.py") == []
 

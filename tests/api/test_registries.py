@@ -18,7 +18,7 @@ from repro.api import (
     verify,
 )
 from repro.engines import EngineRun
-from repro.report import ImplementabilityReport
+from repro.report import ImplementabilityClass, ImplementabilityReport
 from repro.stg.generators import handshake
 
 
@@ -168,7 +168,9 @@ class TestFacadeValidation:
         names = [verdict.name for verdict in report.verdicts]
         assert names == ["complete state coding (CSC)",
                          "unique state coding (USC)"]
-        assert report.classification is None  # basics unchecked
+        # basics unchecked: the explicit partial verdict, never a rung
+        # of the Definition 2.6 hierarchy
+        assert report.classification is ImplementabilityClass.PARTIAL
         assert report.consistent is None
 
     def test_partial_coding_checks_leave_classification_undecided(self):
@@ -176,7 +178,7 @@ class TestFacadeValidation:
         # (a gate-implementable spec must not be reported as SI).
         report = verify(handshake(),
                         checks=("consistency", "persistency"))
-        assert report.classification is None
+        assert report.classification is ImplementabilityClass.PARTIAL
         # With CSC checked and passing, GATE is decided without the
         # reducibility check; a failed basic is decisive on its own.
         report = verify(handshake(),

@@ -193,5 +193,27 @@ class TestEngineIntegration:
         assert subset.report.csc == full.report.csc
 
 
+class TestSharedStore:
+    def test_shared_returns_one_instance_per_directory(self, tmp_path):
+        first = BDDStore.shared(str(tmp_path / "a"))
+        again = BDDStore.shared(str(tmp_path / "a"))
+        other = BDDStore.shared(str(tmp_path / "b"))
+        assert first is again
+        assert first is not other
+
+    def test_engine_runs_aggregate_counters_on_the_shared_store(
+            self, tmp_path):
+        # The always-warm contract of repro.serve: the facade binds the
+        # process-wide instance, so its counters span runs.
+        directory = str(tmp_path / "engine-store")
+        stg = build_example("muller_pipeline", 5)
+        config = api.EngineConfig(bdd_cache_dir=directory)
+        store = BDDStore.shared(directory)
+        api.run(stg, config)
+        assert store.misses == 1 and store.hits == 0
+        api.run(stg, config, checks=("csc",))
+        assert store.hits == 1  # second run served from the same object
+
+
 def pipeline_name(pipeline) -> str:
     return pipeline.stg.name

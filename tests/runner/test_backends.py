@@ -4,8 +4,9 @@ The contracts the ISSUE pins:
 
 * the backend registry mirrors ``repro.engines`` (register/available/get,
   did-you-mean on unknown names),
-* ``process``, ``thread`` and ``serial`` produce byte-identical
-  ``SweepResult.stable_json_dict()`` output for the same plan,
+* ``process``, ``thread``, ``serial`` and ``asyncio`` produce
+  byte-identical ``SweepResult.stable_json_dict()`` output for the same
+  plan,
 * failure isolation holds on every backend, and
 * results carry per-entry execution provenance while the stable view
   stays provenance-free.
@@ -26,7 +27,7 @@ from repro.runner import (
 SELECTION = ["handshake", "vme_read", "mutex_element", "inconsistent",
              "random_ring_n4_s1"]
 
-BUILTINS = ("process", "thread", "serial")
+BUILTINS = ("process", "thread", "serial", "asyncio")
 
 
 def stable_json(sweep):
@@ -95,10 +96,18 @@ class TestBackendParity:
         sweep = SweepRunner(plan, backend="thread").run()
         assert sweep.backend == "thread"
 
-    def test_results_preserve_plan_order_on_threads(self):
+    @pytest.mark.parametrize("backend", ["thread", "asyncio"])
+    def test_results_preserve_plan_order_on_pools(self, backend):
         sweep = run_sweep(SweepPlan(names=SELECTION, jobs=4),
-                          backend="thread")
+                          backend=backend)
         assert [result.name for result in sweep] == SELECTION
+
+    def test_asyncio_backend_is_the_serve_machinery(self):
+        # The daemon awaits execute_payload_async directly; the backend
+        # must be the same primitive behind the sweep-facing protocol.
+        backend = backends.get("asyncio")
+        assert isinstance(backend, backends.AsyncioBackend)
+        assert not backend.supports_timeouts
 
 
 class TestFailureIsolationAcrossBackends:

@@ -1,0 +1,39 @@
+"""Fixtures for the serve-daemon tests: a real daemon on a real socket.
+
+Every test gets its own daemon on a free port with a fresh state
+directory -- the warm-state tests are exactly about what persists
+*within* one daemon's life, so nothing may leak between tests.
+"""
+
+import pytest
+
+from repro.serve import ServeApp, ServeClient
+
+
+@pytest.fixture
+def make_daemon(tmp_path):
+    """Factory for daemons with custom knobs; all stopped on teardown."""
+    apps = []
+
+    def factory(**kwargs) -> ServeApp:
+        kwargs.setdefault("state_dir",
+                          str(tmp_path / f"state-{len(apps)}"))
+        kwargs.setdefault("jobs", 2)
+        app = ServeApp(**kwargs)
+        apps.append(app)
+        return app.run_in_thread()
+
+    yield factory
+    for app in apps:
+        app.stop(timeout=30)
+
+
+@pytest.fixture
+def daemon(make_daemon):
+    """One default daemon (2 workers, fresh state dir)."""
+    return make_daemon()
+
+
+@pytest.fixture
+def client(daemon):
+    return ServeClient(port=daemon.port)

@@ -114,7 +114,8 @@ class TestMain:
         assert "complete state coding" in output
         assert "signal persistency" in output
         assert "consistent state assignment" not in output
-        assert "classification" not in output  # basics unchecked
+        # basics unchecked: the class is explicitly partial, not omitted
+        assert "classification: partial" in output
 
     def test_checks_subset_exit_code_reflects_selected_verdicts(self):
         # csc_violation fails CSC (exit 1 for a csc-only run) but passes

@@ -51,6 +51,37 @@ class TestClassification:
     def test_classification_strings(self):
         assert "gate" in str(ImplementabilityClass.GATE)
         assert "I/O" in str(ImplementabilityClass.IO)
+        assert str(ImplementabilityClass.PARTIAL).startswith("partial")
+
+    def test_partial_when_basics_unchecked(self):
+        report = make_report(bounded=None, consistent=None,
+                             output_persistent=None)
+        assert report.classification is ImplementabilityClass.PARTIAL
+        assert not report.io_implementable
+
+    def test_partial_when_csc_unchecked(self):
+        report = make_report(csc=None, usc=None)
+        assert report.classification is ImplementabilityClass.PARTIAL
+
+    def test_partial_when_reducibility_never_ran(self):
+        report = make_report(csc=False, deterministic=None,
+                             commutative=None, complementary_free=None)
+        assert report.classification is ImplementabilityClass.PARTIAL
+
+    def test_partial_round_trips_through_the_dict_schema(self):
+        report = make_report(csc=None, usc=None)
+        data = report.to_dict()
+        # Rendered explicitly for --json consumers ...
+        assert data["classification"] == str(ImplementabilityClass.PARTIAL)
+        # ... and recomputed (not restored) on the way back, exactly.
+        rebuilt = ImplementabilityReport.from_dict(data)
+        assert rebuilt == report
+        assert rebuilt.classification is ImplementabilityClass.PARTIAL
+        assert rebuilt.to_dict() == data
+
+    def test_partial_rendered_in_summary(self):
+        report = make_report(csc=None, usc=None)
+        assert "classification: partial" in report.summary()
 
 
 class TestVerdictsAndRendering:

@@ -71,6 +71,10 @@ RULES: Dict[str, Rule] = {rule.id: rule for rule in (
     Rule("RA202", "facade-bypass",
          "CLI/runner/worker code reaches verification internals instead "
          "of going through repro.api"),
+    Rule("RA203", "serve-facade-bypass",
+         "repro.serve code imports or calls verification internals "
+         "(engine modules, pipeline/checker classes) instead of the "
+         "repro.api facade; the daemon is transport and caching only"),
     # registry-hygiene pass (RA3xx)
     Rule("RA301", "unexercised-registration",
          "name registered with register_check / engine / backend "

@@ -12,7 +12,14 @@ This pass turns that convention into findings:
 * **RA202** -- front-end code (``cli.py``, ``__main__.py``, anything
   under ``runner/``) imports or calls verification internals
   (``VerificationPipeline``, ``ExplicitVerification``, the shims)
-  instead of going through ``repro.api``.
+  instead of going through ``repro.api``;
+* **RA203** -- serve-daemon code (anything under ``serve/``) reaches
+  verification machinery at all: importing from the engine modules
+  (``repro.core``, ``repro.sg``, ``repro.engines``) or naming the
+  internals directly.  The daemon layer is transport, queueing and
+  caching only -- it verifies exclusively through the facade (via the
+  :func:`repro.runner.worker.execute_payload_async` primitive), which
+  is what keeps daemon verdicts byte-identical to batch-check runs.
 """
 
 from __future__ import annotations
@@ -41,6 +48,13 @@ _SHIM_ALLOWED_FRAGMENTS = (
 #: Front-end modules bound to the facade-only contract.
 _FRONTEND_FRAGMENTS = ("repro/cli", "repro/__main__", "repro/runner/")
 
+#: Serve-daemon modules bound to the stricter RA203 contract: no
+#: verification machinery at all, not even the engine registry.
+_SERVE_FRAGMENTS = ("repro/serve/",)
+
+#: Module prefixes the serve layer must not import from.
+_SERVE_FORBIDDEN_MODULES = ("repro.core", "repro.sg", "repro.engines")
+
 
 def _shim_allowed(path: str) -> bool:
     return any(fragment in path for fragment in _SHIM_ALLOWED_FRAGMENTS)
@@ -50,9 +64,19 @@ def _is_frontend(path: str) -> bool:
     return any(fragment in path for fragment in _FRONTEND_FRAGMENTS)
 
 
+def _is_serve(path: str) -> bool:
+    return any(fragment in path for fragment in _SERVE_FRAGMENTS)
+
+
+def _serve_forbidden_module(module: str) -> bool:
+    return any(module == prefix or module.startswith(prefix + ".")
+               for prefix in _SERVE_FORBIDDEN_MODULES)
+
+
 def _check_file(source: SourceFile, findings: List[Finding]) -> None:
     assert source.tree is not None
     frontend = _is_frontend(source.path)
+    serve = _is_serve(source.path)
     for node in ast.walk(source.tree):
         if isinstance(node, ast.Call):
             func = node.func
@@ -64,11 +88,20 @@ def _check_file(source: SourceFile, findings: List[Finding]) -> None:
                     message=f"{name} is a deprecation shim; construct "
                             f"verification through repro.api.run / "
                             f"repro.api.verify instead"))
+            elif serve and name in VERIFICATION_INTERNALS:
+                findings.append(Finding(
+                    rule="RA203", path=source.path, line=node.lineno,
+                    message=f"serve-daemon code calls {name} directly; "
+                            f"the daemon verifies only through the "
+                            f"repro.api facade (via the worker "
+                            f"primitive)"))
             elif frontend and name in VERIFICATION_INTERNALS:
                 findings.append(Finding(
                     rule="RA202", path=source.path, line=node.lineno,
                     message=f"front-end code calls {name} directly; "
                             f"go through the repro.api facade"))
+        elif isinstance(node, (ast.Import, ast.ImportFrom)) and serve:
+            _check_serve_import(source, node, findings)
         elif isinstance(node, ast.ImportFrom) and frontend:
             module = node.module or ""
             if module.startswith("repro.api"):
@@ -80,6 +113,36 @@ def _check_file(source: SourceFile, findings: List[Finding]) -> None:
                         message=f"front-end code imports {alias.name} "
                                 f"from {module}; verification goes "
                                 f"through repro.api only"))
+
+
+def _check_serve_import(source: SourceFile, node, findings:
+                        List[Finding]) -> None:
+    """RA203 on imports: serve code must not touch engine modules."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if _serve_forbidden_module(alias.name):
+                findings.append(Finding(
+                    rule="RA203", path=source.path, line=node.lineno,
+                    message=f"serve-daemon code imports {alias.name}; "
+                            f"the serve layer is transport and caching "
+                            f"only -- verification goes through "
+                            f"repro.api"))
+        return
+    module = node.module or ""
+    if _serve_forbidden_module(module):
+        findings.append(Finding(
+            rule="RA203", path=source.path, line=node.lineno,
+            message=f"serve-daemon code imports from {module}; the "
+                    f"serve layer is transport and caching only -- "
+                    f"verification goes through repro.api"))
+        return
+    for alias in node.names:
+        if alias.name in VERIFICATION_INTERNALS:
+            findings.append(Finding(
+                rule="RA203", path=source.path, line=node.lineno,
+                message=f"serve-daemon code imports {alias.name} from "
+                        f"{module}; verification goes through "
+                        f"repro.api only"))
 
 
 def run(project: Project) -> List[Finding]:

@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Load harness of the ``repro.serve`` daemon: cold vs warm latency.
+
+Boots a real daemon subprocess (``python -m repro serve``), drives it
+with N concurrent clients (default 8) issuing corpus-entry check
+requests, and reports per-request latency percentiles for two rounds:
+
+* **cold** -- a fresh daemon state directory: every distinct task is
+  actually verified (concurrent duplicates still coalesce through the
+  single-flight lock, exactly as in production);
+* **warm** -- the identical request mix again: every request is served
+  from the daemon's RunStore without running anything.
+
+The ``--output`` JSON (committed as ``BENCH_serve.json`` by ``make
+bench``) records p50/p99 per round plus the daemon's own counters, so
+the warm numbers are *provably* cache-served (hits == warm requests).
+
+Usage::
+
+    python tools/load_test.py                       # 8 clients, print
+    python tools/load_test.py --clients 16 --requests-per-client 4
+    python tools/load_test.py --output BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.serve import ServeClient  # noqa: E402
+
+#: Corpus entries the clients cycle through -- a representative mix of
+#: cheap and mid-size tasks, all with clean expected verdicts.
+ENTRIES = ("handshake", "vme_read", "mutex_element", "sbuf_send_ctl",
+           "master_read_2", "muller_pipeline_4", "random_ring_n4_s1",
+           "random_ring_n6_s3")
+
+_LISTENING = re.compile(r"listening on http://([0-9.]+):(\d+)")
+
+
+def boot_daemon(jobs, state_dir):
+    """Start ``python -m repro serve`` and wait for its listening line."""
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = (
+        os.path.join(REPO_ROOT, "src")
+        + (os.pathsep + environment["PYTHONPATH"]
+           if environment.get("PYTHONPATH") else ""))
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--jobs", str(jobs), "--state-dir", state_dir],
+        env=environment, cwd=REPO_ROOT, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    line = process.stdout.readline()
+    match = _LISTENING.search(line)
+    if not match:
+        process.kill()
+        raise SystemExit(f"load_test: daemon failed to start: {line!r}")
+    return process, match.group(1), int(match.group(2))
+
+
+def percentile(sorted_values, fraction):
+    """Nearest-rank percentile of an already-sorted latency list."""
+    if not sorted_values:
+        return None
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def run_round(host, port, clients, requests_per_client):
+    """One round of concurrent requests; returns sorted latencies."""
+
+    def client_run(client_index):
+        client = ServeClient(host=host, port=port)
+        latencies = []
+        for request_index in range(requests_per_client):
+            entry = ENTRIES[(client_index + request_index) % len(ENTRIES)]
+            start = time.perf_counter()
+            result = client.check(entry=entry)
+            latencies.append(time.perf_counter() - start)
+            if result["status"] not in ("ok", "mismatch"):
+                raise SystemExit(
+                    f"load_test: entry {entry!r} failed: {result}")
+        return latencies
+
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        per_client = list(pool.map(client_run, range(clients)))
+    return sorted(latency for chunk in per_client for latency in chunk)
+
+
+def summarise(latencies):
+    return {
+        "requests": len(latencies),
+        "p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+        "max_ms": round(latencies[-1] * 1000, 3),
+        "total_s": round(sum(latencies), 3),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Concurrent-client load test of the serve daemon.")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent clients (default: 8)")
+    parser.add_argument("--requests-per-client", type=int, default=3,
+                        help="requests each client issues per round")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="daemon worker count")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON summary to this path")
+    arguments = parser.parse_args(argv)
+    if arguments.clients < 1 or arguments.requests_per_client < 1:
+        parser.error("--clients and --requests-per-client must be >= 1")
+
+    with tempfile.TemporaryDirectory(prefix="repro-load-") as state_dir:
+        process, host, port = boot_daemon(arguments.jobs, state_dir)
+        try:
+            client = ServeClient(host=host, port=port)
+            print(f"load_test: daemon up on {host}:{port}; "
+                  f"{arguments.clients} clients x "
+                  f"{arguments.requests_per_client} requests, "
+                  f"{len(ENTRIES)} distinct entries")
+            rounds = {}
+            for label in ("cold", "warm"):
+                latencies = run_round(host, port, arguments.clients,
+                                      arguments.requests_per_client)
+                rounds[label] = summarise(latencies)
+                print(f"load_test: {label:4s} p50 "
+                      f"{rounds[label]['p50_ms']:9.3f} ms   p99 "
+                      f"{rounds[label]['p99_ms']:9.3f} ms   "
+                      f"({rounds[label]['requests']} requests)")
+            metrics = client.metrics()["metrics"]
+            counters = {name: metrics[name]["value"]
+                        for name in ("serve.requests",
+                                     "serve.runstore.hits",
+                                     "serve.runstore.misses",
+                                     "serve.bdd.hits",
+                                     "serve.bdd.misses")}
+            client.shutdown()
+        finally:
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                raise SystemExit("load_test: daemon did not drain")
+
+    total = arguments.clients * arguments.requests_per_client
+    if counters["serve.runstore.hits"] < total:
+        raise SystemExit(
+            f"load_test: warm round was not cache-served "
+            f"(hits {counters['serve.runstore.hits']} < {total})")
+    summary = {
+        "clients": arguments.clients,
+        "requests_per_client": arguments.requests_per_client,
+        "jobs": arguments.jobs,
+        "entries": list(ENTRIES),
+        "rounds": rounds,
+        "daemon_counters": counters,
+        "speedup_p50": (round(rounds["cold"]["p50_ms"]
+                              / rounds["warm"]["p50_ms"], 1)
+                        if rounds["warm"]["p50_ms"] else None),
+    }
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"load_test: wrote {arguments.output}")
+    print(f"load_test: PASS (warm round fully cache-served, "
+          f"p50 speedup {summary['speedup_p50']}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

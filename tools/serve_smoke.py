@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the ``repro.serve`` daemon as a subprocess.
+
+The CI serve job and ``make serve-smoke`` run this script.  It boots a
+real ``python -m repro serve`` process and walks the whole lifecycle:
+
+1. ``/healthz`` answers ``ok``;
+2. a cold streamed check emits the full event ladder
+   (``queued`` -> ``running`` -> stage events -> ``result``);
+3. the warm repeat of the same request is served from the run store
+   (``cached`` true, byte-identical stable verdict);
+4. a raw ``.g``-text request round-trips;
+5. ``/metrics`` exposes the documented counters and proves the warm
+   repeat hit the cache (``serve.runstore.hits >= 1``);
+6. ``POST /shutdown`` drains the daemon, which exits 0 and reports
+   "drained and stopped".
+
+Exit status: 0 when every step holds, 1 (via SystemExit) otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.serve import ServeClient  # noqa: E402
+
+_LISTENING = re.compile(r"listening on http://([0-9.]+):(\d+)")
+
+RAW_G_TEXT = """.model smoke_toggle
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.initial_values a=0 b=0
+.end
+"""
+
+#: Counters/gauges the smoke test requires in a /metrics scrape.
+REQUIRED_METRICS = (
+    "serve.requests", "serve.rejected",
+    "serve.runstore.hits", "serve.runstore.misses",
+    "serve.bdd.hits", "serve.bdd.misses",
+    "serve.queue.depth", "serve.uptime.seconds",
+    "serve.request.seconds", "serve.entry.seconds",
+)
+
+
+def fail(message):
+    raise SystemExit(f"serve-smoke: FAIL: {message}")
+
+
+def main():
+    state_dir = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = (
+        os.path.join(REPO_ROOT, "src")
+        + (os.pathsep + environment["PYTHONPATH"]
+           if environment.get("PYTHONPATH") else ""))
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--jobs", "2", "--state-dir", state_dir],
+        env=environment, cwd=REPO_ROOT, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    line = process.stdout.readline()
+    match = _LISTENING.search(line)
+    if not match:
+        process.kill()
+        fail(f"daemon did not start: {line!r}")
+    host, port = match.group(1), int(match.group(2))
+    client = ServeClient(host=host, port=port)
+    print(f"serve-smoke: daemon up on {host}:{port}")
+
+    health = client.health()
+    if health.get("status") != "ok":
+        fail(f"/healthz reported {health}")
+    print("serve-smoke: /healthz ok")
+
+    events = list(client.check_stream(entry="handshake"))
+    kinds = [event["type"] for event in events]
+    if kinds[:2] != ["queued", "running"] or kinds[-1] != "result":
+        fail(f"cold stream event ladder wrong: {kinds}")
+    if "stage" not in kinds:
+        fail(f"cold stream carried no stage events: {kinds}")
+    cold = events[-1]
+    if cold["status"] != "ok" or cold["cached"]:
+        fail(f"cold handshake check not ok/uncached: {cold['status']}, "
+             f"cached={cold['cached']}")
+    print(f"serve-smoke: cold check ok "
+          f"({len(events)} events, {kinds.count('stage')} stages)")
+
+    warm = client.check(entry="handshake")
+    if not warm["cached"]:
+        fail("warm repeat was not served from the run store")
+    if json.dumps(warm["stable"], sort_keys=True) != \
+            json.dumps(cold["stable"], sort_keys=True):
+        fail("warm stable verdict differs from cold")
+    print("serve-smoke: warm repeat cached, stable verdict identical")
+
+    raw = client.check(g_text=RAW_G_TEXT, name="smoke_toggle")
+    if raw["status"] != "ok":
+        fail(f"raw g_text check failed: {raw}")
+    print("serve-smoke: raw .g text check ok")
+
+    metrics = client.metrics()["metrics"]
+    missing = [name for name in REQUIRED_METRICS if name not in metrics]
+    if missing:
+        fail(f"/metrics is missing {missing}")
+    hits = metrics["serve.runstore.hits"]["value"]
+    if hits < 1:
+        fail(f"serve.runstore.hits is {hits}; warm repeat not proven")
+    print(f"serve-smoke: /metrics ok ({len(metrics)} series, "
+          f"runstore hits {hits})")
+
+    client.shutdown()
+    try:
+        process.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        fail("daemon did not exit after /shutdown")
+    tail = process.stdout.read()
+    if process.returncode != 0:
+        fail(f"daemon exited {process.returncode}: {tail}")
+    if "drained and stopped" not in tail:
+        fail(f"daemon shutdown message missing: {tail!r}")
+    print("serve-smoke: daemon drained and exited 0")
+    print("serve-smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,11 @@ This is the off-GitHub mirror of the ``sweep`` and ``merge`` jobs of
 so the distributed-sweep contract is checkable on any machine:
 
 1. **Backend parity** -- the same plan swept on every registered built-in
-   backend (``process``, ``thread``, ``serial``) must produce
-   byte-identical stable JSON (``batch-check --stable-json``).
+   backend (``process``, ``thread``, ``serial``, ``asyncio``) must
+   produce byte-identical stable JSON (``batch-check --stable-json``).
+   The ``asyncio`` leg is what gates the ``repro.serve`` daemon's
+   execution path: the daemon schedules jobs through exactly the
+   primitive this backend wraps.
 2. **Shard/merge reproduction** -- the corpus swept as four separate
    ``--shard i/4`` runs (rotating through the backends, each into its
    own run store) and recombined with ``batch-check --merge`` must
@@ -40,10 +43,10 @@ import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-BACKENDS = ("process", "thread", "serial")
+BACKENDS = ("process", "thread", "serial", "asyncio")
 #: Backend used by shard i of the 4-way partition (each backend at least
 #: once, mirroring the CI matrix).
-SHARD_BACKENDS = ("process", "thread", "serial", "process")
+SHARD_BACKENDS = ("process", "thread", "serial", "asyncio")
 
 
 def batch_check(arguments, seed):
