@@ -48,7 +48,9 @@ serve-smoke:
 
 # The tracked benchmark harnesses: kernel rows + cold/warm --bdd-cache
 # sweep to BENCH_sweep.json, then the serve-daemon load test (8
-# concurrent clients, cold vs warm p50/p99) to BENCH_serve.json.
+# concurrent clients, cold vs warm p50/p99, plus the incremental
+# edit-loop scenario: cold vs --base-seeded re-checks) to
+# BENCH_serve.json.
 bench:
 	$(PYTHON) tools/bench.py --quick
 	$(PYTHON) tools/load_test.py --output BENCH_serve.json

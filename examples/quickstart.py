@@ -7,20 +7,19 @@ variant, printing every intermediate result:
 
 1. build an STG with the programmatic API,
 2. validate its structure,
-3. run the symbolic implementability checker (BDD traversal),
+3. verify implementability through the ``repro.api`` facade (symbolic
+   BDD traversal),
 4. compare with the explicit enumeration engine,
-5. derive and verify the complex-gate logic.
+5. derive and verify the complex-gate logic from the facade run's
+   shared intermediates.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro.core import ImplementabilityChecker
-from repro.core.encoding import SymbolicEncoding
-from repro.core.image import SymbolicImage
-from repro.core.traversal import symbolic_traversal
-from repro.sg import ExplicitChecker, build_state_graph
+from repro import api
+from repro.sg import build_state_graph
 from repro.stg import STG, SignalKind, to_g_string
 from repro.stg.validate import validate_structure
 from repro.synthesis import (
@@ -69,27 +68,31 @@ def check_and_report(stg: STG) -> None:
     validation = validate_structure(stg)
     print(f"structural validation: {validation}")
 
-    symbolic_report = ImplementabilityChecker(stg).check()
+    outcome = api.run(stg)              # symbolic engine, defaults
+    symbolic_report = outcome.report
     print()
     print(symbolic_report.summary())
 
-    explicit_report = ExplicitChecker(stg).check()
+    explicit_report = api.verify(stg, api.EngineConfig(engine="explicit"))
     print()
     print(f"explicit engine agrees on the classification: "
           f"{explicit_report.classification == symbolic_report.classification}")
 
     if symbolic_report.gate_implementable:
-        encoding = SymbolicEncoding(stg)
-        image = SymbolicImage(encoding)
-        reached, _ = symbolic_traversal(encoding, image=image)
-        functions = derive_next_state_functions(encoding, reached, image.charfun)
-        gates = synthesize_complex_gates(encoding, reached, image.charfun)
+        # The facade run already computed the shared intermediates --
+        # encoding, image operator and reachable-state BDD -- reuse them.
+        pipeline = outcome.pipeline
+        functions = derive_next_state_functions(
+            pipeline.encoding, pipeline.reached, pipeline.charfun)
+        gates = synthesize_complex_gates(
+            pipeline.encoding, pipeline.reached, pipeline.charfun)
         print()
         print("derived complex-gate equations:")
         for gate in gates.values():
             print(f"  {gate}")
         graph = build_state_graph(stg).graph
-        verification = verify_implementation(encoding, graph, gates, functions)
+        verification = verify_implementation(
+            pipeline.encoding, graph, gates, functions)
         print(f"verification against the explicit state graph: {verification}")
     print()
 

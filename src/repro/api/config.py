@@ -23,6 +23,7 @@ so one config can drive any registered engine.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, fields, replace
 from typing import Dict, Mapping, Optional, Tuple
 
@@ -37,7 +38,8 @@ TRAVERSAL_STRATEGIES = ("chained", "frontier")
 #: fingerprint (:attr:`repro.runner.plan.SweepTask.fingerprint`) and
 #: stripped from client-supplied configs by the ``repro.serve`` daemon,
 #: which owns its own cache directories.
-EXECUTION_KNOB_FIELDS = ("timeout", "bdd_cache_dir", "trace_dir")
+EXECUTION_KNOB_FIELDS = ("timeout", "bdd_cache_dir", "trace_dir",
+                         "base_fingerprint")
 
 
 @dataclass(frozen=True)
@@ -78,6 +80,14 @@ class EngineConfig:
         knob: like ``timeout`` and ``bdd_cache_dir`` it is excluded
         from every fingerprint, and the sweep gate proves traced and
         untraced runs emit byte-identical stable JSON.
+    base_fingerprint:
+        Reachability fingerprint of a *base* entry in the BDD cache to
+        warm-start from when re-verifying an edited specification
+        (:mod:`repro.delta`; requires ``bdd_cache_dir``).  An execution
+        knob like the cache directory itself: seeding only moves where
+        the traversal starts, never its fixpoint, so the field is
+        excluded from every fingerprint and the sweep gate's delta leg
+        proves seeded and cold runs emit byte-identical stable JSON.
     commutativity_fallback_states:
         State bound under which the symbolic engine falls back to the
         explicit commutativity check when fake conflicts are present.
@@ -92,6 +102,7 @@ class EngineConfig:
     timeout: Optional[float] = None
     bdd_cache_dir: Optional[str] = None
     trace_dir: Optional[str] = None
+    base_fingerprint: Optional[str] = None
     commutativity_fallback_states: int = 10_000
 
     def __post_init__(self) -> None:
@@ -123,6 +134,11 @@ class EngineConfig:
                            f"got {self.max_states}")
         if self.timeout is not None and self.timeout <= 0:
             raise ApiError(f"timeout must be positive, got {self.timeout}")
+        if self.base_fingerprint is not None and not re.fullmatch(
+                r"[0-9a-f]{64}", self.base_fingerprint):
+            raise ApiError(
+                f"base_fingerprint must be a 64-char lowercase hex "
+                f"reachability fingerprint, got {self.base_fingerprint!r}")
 
     # ------------------------------------------------------------------
     # Convenience views
@@ -171,6 +187,7 @@ class EngineConfig:
             "timeout": self.timeout,
             "bdd_cache_dir": self.bdd_cache_dir,
             "trace_dir": self.trace_dir,
+            "base_fingerprint": self.base_fingerprint,
             "commutativity_fallback_states":
                 self.commutativity_fallback_states,
         }

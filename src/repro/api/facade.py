@@ -9,17 +9,29 @@ synthesis drivers, external tooling -- verifies through this facade::
     report = verify(stg, EngineConfig(engine="explicit"))
     report = verify(stg, checks=("csc", "persistency"))    # a subset
 
+Incremental re-verification (:mod:`repro.delta`) is part of the same
+front door: with a persistent BDD cache configured, ``base=`` names the
+entry to warm-start from -- a benchmark-corpus entry name or a raw
+reachability fingerprint -- and the returned report carries a ``delta``
+provenance block saying which reuse tier applied::
+
+    config = EngineConfig(bdd_cache_dir=".repro-bdd-cache")
+    verify(base_stg, config)                               # populate
+    report = verify(edited_stg, config, base=base_stg)     # re-check
+    report.delta["tier"]                                   # e.g. "seed"
+
 :func:`verify` returns the :class:`~repro.report.ImplementabilityReport`;
 :func:`run` additionally returns the engine intermediates (traversal
 statistics, the symbolic pipeline) for consumers that keep working after
-the check.  Engine choice, check selection and arbitration places are all
-validated here, so a bad request fails fast with a clear
-:class:`~repro.api.errors.ApiError` instead of silently misbehaving deep
-inside an engine.
+the check.  Engine choice, check selection, arbitration places and the
+base reference are all validated here, so a bad request fails fast with
+a clear :class:`~repro.api.errors.ApiError` instead of silently
+misbehaving deep inside an engine.
 """
 
 from __future__ import annotations
 
+import re
 from typing import Iterable, Optional, Union
 
 from repro.api.config import EngineConfig
@@ -27,6 +39,8 @@ from repro.api.errors import ApiError, suggest
 from repro.engines import EngineRun
 from repro.report import ImplementabilityReport
 from repro.stg.stg import STG
+
+_FINGERPRINT = re.compile(r"[0-9a-f]{64}")
 
 
 def validate_arbitration_places(stg: STG,
@@ -47,8 +61,44 @@ def validate_arbitration_places(stg: STG,
             f"{suggest(unknown[0], known)}")
 
 
+def resolve_base(base: Union[str, STG], config: EngineConfig) -> str:
+    """Turn a ``base=`` reference into a reachability fingerprint.
+
+    Accepts, in order of preference:
+
+    * a 64-char lowercase hex string -- taken as the fingerprint itself
+      (what the serve daemon's ``queued`` events and
+      :func:`repro.cache.reachable_fingerprint` hand out);
+    * an :class:`STG` -- fingerprinted from its canonical ``.g`` text;
+    * a benchmark-corpus entry name -- fingerprinted from the corpus
+      entry's stored text.
+
+    The fingerprint is computed under ``config`` (ordering, traversal
+    strategy, initial values), i.e. it names *the base entry this very
+    config would have written*.
+    """
+    from repro.cache import reachable_fingerprint
+    from repro.stg.writer import to_g_string
+
+    if isinstance(base, STG):
+        return reachable_fingerprint(to_g_string(base), config)
+    base = str(base)
+    if _FINGERPRINT.fullmatch(base):
+        return base
+    from repro.corpus import entry as corpus_entry
+
+    try:
+        found = corpus_entry(base)
+    except KeyError:
+        raise ApiError(
+            f"base {base!r} is neither a reachability fingerprint nor a "
+            f"benchmark-corpus entry name") from None
+    return reachable_fingerprint(found.g_text, config)
+
+
 def run(stg: STG, config: Optional[EngineConfig] = None,
-        checks: Union[None, str, Iterable[str]] = None) -> EngineRun:
+        checks: Union[None, str, Iterable[str]] = None,
+        base: Union[None, str, STG] = None) -> EngineRun:
     """Verify ``stg`` and return the full :class:`EngineRun` outcome.
 
     ``config`` defaults to ``EngineConfig()`` (symbolic engine, force
@@ -56,25 +106,50 @@ def run(stg: STG, config: Optional[EngineConfig] = None,
     for the engine's default set, :data:`repro.api.checks.ALL` for every
     supported check, or an iterable / comma-separated string of check
     names (see :func:`repro.api.checks.available_checks`).
+
+    ``base`` requests a delta warm-start from a previously cached entry
+    (see :func:`resolve_base` for the accepted spellings and the module
+    docstring for the editor-loop pattern); it requires a configured
+    ``bdd_cache_dir`` and the symbolic engine.  The base only seeds the
+    traversal -- verdicts are byte-identical to a cold run -- and the
+    report's ``delta`` block records the classification outcome.
     """
     from repro import engines
     from repro.api.checks import resolve_checks
 
     if config is None:
         config = EngineConfig()
+    if base is not None:
+        if not config.bdd_cache_dir:
+            raise ApiError(
+                "base= requires a persistent BDD cache: set "
+                "EngineConfig.bdd_cache_dir (the store the base entry "
+                "lives in)")
+        if config.engine != "symbolic":
+            raise ApiError(
+                f"base= requires the symbolic engine (delta warm-starts "
+                f"seed the BDD traversal), got engine={config.engine!r}")
+        config = config.with_overrides(
+            base_fingerprint=resolve_base(base, config))
     validate_arbitration_places(stg, config.arbitration_places)
     engine = engines.get(config.engine)
     selected = resolve_checks(checks, engine=config.engine,
                               supported=engine.checks)
-    return engine.run(stg, config, selected)
+    outcome = engine.run(stg, config, selected)
+    if config.base_fingerprint and outcome.pipeline is not None:
+        info = getattr(outcome.pipeline, "delta_info", None)
+        if info is not None:
+            outcome.report.delta = dict(info)
+    return outcome
 
 
 def verify(stg: STG, config: Optional[EngineConfig] = None,
-           checks: Union[None, str, Iterable[str]] = None
-           ) -> ImplementabilityReport:
+           checks: Union[None, str, Iterable[str]] = None,
+           base: Union[None, str, STG] = None) -> ImplementabilityReport:
     """Verify ``stg`` and return the :class:`ImplementabilityReport`.
 
     The facade every consumer should call; see :func:`run` for the
-    parameters and for access to the engine intermediates.
+    parameters (including the incremental ``base=``) and for access to
+    the engine intermediates.
     """
-    return run(stg, config, checks=checks).report
+    return run(stg, config, checks=checks, base=base).report

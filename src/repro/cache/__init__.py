@@ -48,23 +48,35 @@ def bind_pipeline(pipeline, store: BDDStore, name: str, config,
     pipeline's STG when omitted -- the writer is deterministic, so both
     spellings fingerprint identically).  Returns the reachability
     fingerprint the store entry is keyed by.
+
+    When ``config.base_fingerprint`` is set and the exact lookup
+    misses, the provider asks :func:`repro.delta.warmstart.apply_base`
+    for the strongest sound reuse of the named base entry (adopting it
+    outright on structural identity, seeding the traversal for monotone
+    edits, pre-warming structurally otherwise); the family-scale
+    warm-start remains the fallback when no base was named.
     """
     from repro.stg.writer import to_g_string
 
     if g_text is None:
         g_text = to_g_string(pipeline.stg)
     fingerprint = reachable_fingerprint(g_text, config)
+    base_fingerprint = getattr(config, "base_fingerprint", None)
 
     def provider(p):
         hit = store.lookup(name, fingerprint, p.encoding.manager)
         if hit is not None:
             return hit
+        if base_fingerprint:
+            from repro.delta.warmstart import apply_base
+
+            return apply_base(p, store, base_fingerprint)
         # Miss: maybe pre-build structure from a smaller family scale.
         p.warm_handle = store.warm_start(name, p.encoding.manager)
         return None
 
     def consumer(p, reached, stats):
-        store.put(name, fingerprint, reached, stats)
+        store.put(name, fingerprint, reached, stats, g_text=g_text)
 
     pipeline.reached_provider = provider
     pipeline.reached_consumer = consumer

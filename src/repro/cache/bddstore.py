@@ -27,6 +27,13 @@ set (its states are not necessarily reachable at the new scale -- doing
 so would corrupt verdicts); it only pre-builds shared node structure and
 operation-cache entries, so the traversal result is byte-for-byte the
 cold result, just cheaper to construct.
+
+**Delta warm-starts** (:mod:`repro.delta`) generalise this to *edited*
+specifications: :meth:`BDDStore.find` locates a base entry by
+fingerprint and schema-2 entries carry the base's canonical ``.g`` text
+in their meta line, so the engine can diff the edited STG against the
+base and -- for strictly monotone edits -- seed the traversal from the
+stored reachable set instead of the single initial state.
 """
 
 from __future__ import annotations
@@ -47,7 +54,10 @@ from repro.core.stats import TraversalStats
 
 #: Bump when the store format or the fingerprint material changes
 #: incompatibly; part of every fingerprint, so old entries invalidate.
-BDD_SCHEMA_VERSION = 1
+#: 2: the meta line records the canonical ``.g`` text of the stored
+#:    specification, so delta warm-starts can diff an edited STG
+#:    against the base without a side channel.
+BDD_SCHEMA_VERSION = 2
 
 FORMAT_HEADER = f"bddstore {BDD_SCHEMA_VERSION}"
 
@@ -95,6 +105,11 @@ class BDDStore:
         self.misses = 0
         self.invalidations = 0
         self.warm_starts = 0
+        # Delta warm-start outcomes, by reuse tier (see repro.delta).
+        self.delta_hits = 0
+        self.delta_seeds = 0
+        self.delta_prewarms = 0
+        self.delta_colds = 0
 
     @classmethod
     def shared(cls, directory: str) -> "BDDStore":
@@ -120,6 +135,20 @@ class BDDStore:
     def _path(self, name: str) -> str:
         return os.path.join(self.directory,
                             _SAFE_NAME.sub("_", name) + ".bdd")
+
+    def _alt_path(self, name: str, fingerprint: str) -> str:
+        """The overflow entry of a (name, fingerprint) pair.
+
+        Edited specifications usually keep their base's ``.model`` name,
+        so one name legitimately maps to several live contents in an
+        editor loop.  The first content keeps the primary ``name.bdd``
+        path (family warm-starts scan those); later different-content
+        puts land here instead of evicting the base entry a delta
+        re-check is about to ask for.
+        """
+        return os.path.join(
+            self.directory,
+            f"{_SAFE_NAME.sub('_', name)}-{fingerprint[:12]}.bdd")
 
     def __contains__(self, name: str) -> bool:
         return os.path.exists(self._path(name))
@@ -149,6 +178,13 @@ class BDDStore:
                         f"entry records name {meta.get('name')!r}, "
                         f"expected {name!r}")
                 if meta.get("fingerprint") != fingerprint:
+                    # Another content owns the primary path; an editor
+                    # loop may have parked this one on its overflow
+                    # path (see :meth:`_alt_path`).
+                    alternate = self._alt_path(name, fingerprint)
+                    if os.path.exists(alternate):
+                        return self._lookup_file(alternate, name,
+                                                 fingerprint, manager)
                     # Content or engine config changed: a plain
                     # invalidation, not corruption.
                     self.invalidations += 1
@@ -167,21 +203,132 @@ class BDDStore:
         self.hits += 1
         return reached, stats
 
+    def _lookup_file(self, path: str, name: str, fingerprint: str,
+                     manager: BDDManager
+                     ) -> Optional[Tuple[Function, TraversalStats]]:
+        """:meth:`lookup` semantics against one specific entry file."""
+        try:
+            with open(path, encoding="utf-8") as handle:
+                meta = self._read_meta(handle, path)
+                if (meta.get("name") != name
+                        or meta.get("fingerprint") != fingerprint):
+                    self.invalidations += 1
+                    self.misses += 1
+                    return None
+                reached = self._load_bdd(handle, manager, path,
+                                         require_exact_order=True)
+                stats = TraversalStats.from_dict(meta.get("stats") or {})
+        except (BDDError, ValueError, OSError) as error:
+            warnings.warn(
+                f"{path}: corrupt BDD-store entry ({error}); falling "
+                f"back to a cold traversal", BDDStoreWarning,
+                stacklevel=2)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return reached, stats
+
     def put(self, name: str, fingerprint: str, reached: Function,
-            stats: TraversalStats) -> None:
-        """Persist one reachable set (atomically: write-temp + rename)."""
+            stats: TraversalStats, g_text: Optional[str] = None) -> None:
+        """Persist one reachable set (atomically: write-temp + rename).
+
+        ``g_text`` is the canonical specification text the fingerprint
+        was computed over; storing it lets a later *delta* lookup
+        (:meth:`find` + :meth:`load_entry`) diff an edited STG against
+        this base without re-supplying the base source.
+
+        When the primary ``{name}.bdd`` file already holds a *different*
+        fingerprint, the new entry goes to its overflow path
+        (:meth:`_alt_path`) instead of evicting it -- in an editor loop
+        the edited spec usually keeps the base's ``.model`` name, and
+        clobbering the base entry would turn every subsequent re-check
+        cold.  An unreadable primary is overwritten as before.
+        """
         path = self._path(name)
+        if os.path.exists(path):
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    existing = self._read_meta(handle, path)
+            except (BDDError, ValueError, OSError):
+                existing = None  # corrupt primary: reclaim it
+            if existing is not None and \
+                    existing.get("fingerprint") != fingerprint:
+                path = self._alt_path(name, fingerprint)
         temporary = path + ".tmp"
+        meta = {
+            "name": name,
+            "fingerprint": fingerprint,
+            "stats": stats.to_dict(),
+            "stored_at": time.time(),
+        }
+        if g_text is not None:
+            meta["g_text"] = g_text
         with open(temporary, "w", encoding="utf-8") as handle:
             handle.write(FORMAT_HEADER + "\n")
-            handle.write("meta " + json.dumps({
-                "name": name,
-                "fingerprint": fingerprint,
-                "stats": stats.to_dict(),
-                "stored_at": time.time(),
-            }, sort_keys=True) + "\n")
+            handle.write("meta " + json.dumps(meta, sort_keys=True) + "\n")
             serialize.dump([reached], handle)
         os.replace(temporary, path)
+
+    # ------------------------------------------------------------------
+    # Delta warm starts (repro.delta)
+    # ------------------------------------------------------------------
+    def find(self, fingerprint: str) -> Optional[Tuple[str, dict]]:
+        """Locate the entry stored under ``fingerprint``, if any.
+
+        Returns ``(path, meta)`` without deserialising the BDD section,
+        so callers can read the base's canonical ``g_text`` and decide
+        on a reuse tier before paying for the load.  Corrupt entries
+        are skipped silently (a later :meth:`lookup` of the same file
+        will warn).
+        """
+        try:
+            entries = sorted(os.listdir(self.directory))
+        except OSError:
+            return None
+        for filename in entries:
+            if not filename.endswith(".bdd"):
+                continue
+            path = os.path.join(self.directory, filename)
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    meta = self._read_meta(handle, path)
+            except (BDDError, ValueError, OSError):
+                continue
+            if meta.get("fingerprint") == fingerprint:
+                return path, meta
+        return None
+
+    def load_entry(self, path: str, manager: BDDManager
+                   ) -> Optional[Tuple[Function, Tuple[str, ...]]]:
+        """Deserialise the BDD of one entry file into ``manager``.
+
+        Returns ``(reached, stored_variables)`` or ``None`` when the
+        stored variables are not a subset of the manager's (an
+        incompatible base) or the entry is corrupt (which warns).  Used
+        by the delta warm-start path after :meth:`find` has picked the
+        entry and read its meta.
+        """
+        try:
+            with open(path, encoding="utf-8") as handle:
+                self._read_meta(handle, path)
+                position = handle.tell()
+                handle.readline()  # serialize header
+                vars_line = handle.readline().split()
+                if not vars_line or vars_line[0] != "vars":
+                    raise BDDError("missing 'vars' line")
+                stored = tuple(vars_line[1:])
+                handle.seek(position)
+                loaded = self._load_bdd(handle, manager, path,
+                                        require_exact_order=False)
+        except (BDDError, ValueError, OSError) as error:
+            warnings.warn(
+                f"{path}: corrupt BDD-store entry ({error}); delta "
+                f"warm-start falls back to a cold traversal",
+                BDDStoreWarning, stacklevel=2)
+            return None
+        if loaded is None:
+            return None
+        return loaded, stored
 
     # ------------------------------------------------------------------
     # Family warm starts

@@ -89,6 +89,21 @@ def build_argument_parser() -> argparse.ArgumentParser:
                              "specification -- e.g. with a different "
                              "--checks selection -- loads it and skips "
                              "the traversal entirely")
+    parser.add_argument("--base", metavar="REF", default=None,
+                        help="incremental re-check: warm-start the "
+                             "traversal from the cached base entry REF "
+                             "(a .g file path, a benchmark-corpus entry "
+                             "name, or a 64-hex reachability "
+                             "fingerprint); requires --bdd-cache, and the "
+                             "summary reports the reuse tier -- verdicts "
+                             "are byte-identical to a cold run")
+    parser.add_argument("--stable-json", metavar="PATH",
+                        dest="stable_json_path", default=None,
+                        help="write the timing- and provenance-free "
+                             "stable view of this check to PATH ('-' for "
+                             "stdout): byte-identical across cold and "
+                             "--base warm-started runs of the same "
+                             "specification")
     parser.add_argument("--trace", metavar="DIR", dest="trace_dir",
                         default=None,
                         help="write a JSONL trace of the run (spans for "
@@ -287,12 +302,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(str(error))  # exits with status 2
         return 2
 
+    base = arguments.base
+    if base is not None:
+        if not arguments.bdd_cache:
+            parser.error("--base requires --bdd-cache (the store the "
+                         "base entry lives in)")
+            return 2
+        if os.path.exists(base) or base.endswith(".g"):
+            try:
+                base = read_g_file(base)
+            except Exception as error:
+                parser.error(f"--base: {error}")
+                return 2
+        # otherwise: a corpus entry name or raw fingerprint -- the
+        # facade resolves (and rejects) those.
+
     # The tracing context covers the whole run -- main check, liveness
     # extras and synthesis all land in one trace file under --trace.
     with obs.tracing(config.trace_dir, name=stg.name,
                      meta={"engine": engine}):
         try:
-            outcome = api.run(stg, config, checks=arguments.checks)
+            outcome = api.run(stg, config, checks=arguments.checks,
+                              base=base)
         except api.ApiError as error:
             parser.error(str(error))  # exits with status 2
             return 2
@@ -301,11 +332,47 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         if arguments.liveness or arguments.synthesize:
             _run_extras(stg, arguments, config, report, outcome.pipeline)
+
+    if arguments.stable_json_path:
+        _write_json(_stable_check_dict(stg, config, arguments.checks,
+                                       outcome),
+                    arguments.stable_json_path)
     if arguments.checks is not None:
         # A subset run classifies as 'partial' (the class is undecided);
         # succeed iff every verdict that was actually checked holds.
         return 0 if all(v.holds for v in report.verdicts) else 1
     return 0 if report.io_implementable else 1
+
+
+def _stable_check_dict(stg, config: api.EngineConfig, checks, outcome):
+    """The stable view of one single-specification check.
+
+    Shaped exactly like one entry of a ``batch-check --stable-json``
+    sweep (an :class:`~repro.runner.results.EntryResult` stable dict,
+    keyed by the task content fingerprint), so cold runs, ``--base``
+    warm-started runs and daemon verdicts of the same specification all
+    byte-compare.  ``base_fingerprint`` is an execution knob -- it never
+    reaches the fingerprint.
+    """
+    from repro.api.checks import resolve_checks
+    from repro.engines import get as get_engine
+    from repro.runner.plan import SweepTask
+    from repro.runner.results import EntryResult
+    from repro.stg.writer import to_g_string
+
+    # None stays None (the engine default set), matching how
+    # batch-check builds its tasks -- an explicit subset resolves to
+    # the same tuple the sweep planner would fingerprint.
+    selected = None if checks is None else resolve_checks(
+        checks, engine=config.engine,
+        supported=get_engine(config.engine).checks)
+    task = SweepTask(name=stg.name, g_text=to_g_string(stg),
+                     config=config, checks=selected)
+    result = EntryResult(name=stg.name, status="ok", engine=config.engine,
+                         fingerprint=task.fingerprint,
+                         report=outcome.report.to_dict(),
+                         traversal=outcome.traversal)
+    return result.stable_dict()
 
 
 def _run_extras(stg, arguments, config: api.EngineConfig,

@@ -84,6 +84,18 @@ class VerificationPipeline:
         #: Handle pinning warm-start nodes (loaded by a provider) live in
         #: the manager for the duration of the traversal.
         self.warm_handle = None
+        #: Delta warm-start inputs (:mod:`repro.delta.warmstart`, set via
+        #: the cache provider): a characteristic function of
+        #: known-reachable states to seed the traversal from, the edit's
+        #: added transitions, and whether the seed is closed under every
+        #: other transition.  These influence where the fixpoint
+        #: *starts*, never what is reported (analyzer rule RA204).
+        self.seed_reached = None
+        self.seed_transitions = None
+        self.seed_closed = False
+        #: Provenance of the delta classification (a JSON-able dict);
+        #: the api facade copies it onto the report's ``delta`` block.
+        self.delta_info = None
         self._encoding: Optional[SymbolicEncoding] = None
         self._image: Optional[SymbolicImage] = None
         self._reached = None
@@ -130,8 +142,12 @@ class VerificationPipeline:
                     return self._reached
             self._reached, self._traversal_stats = symbolic_traversal(
                 self.encoding, image=self.image,
-                strategy=self.traversal_strategy)
+                strategy=self.traversal_strategy,
+                seed=self.seed_reached,
+                seed_transitions=self.seed_transitions,
+                seed_closed=self.seed_closed)
             self.warm_handle = None  # warm nodes no longer need pinning
+            self.seed_reached = None  # ditto for the delta seed
             if self.reached_consumer is not None:
                 self.reached_consumer(self, self._reached,
                                       self._traversal_stats)

@@ -34,7 +34,10 @@ def symbolic_traversal(encoding: SymbolicEncoding,
                        initial: Optional[Function] = None,
                        transitions: Optional[Iterable[str]] = None,
                        strategy: str = "chained",
-                       observer: Optional[Callable[[Function], None]] = None
+                       observer: Optional[Callable[[Function], None]] = None,
+                       seed: Optional[Function] = None,
+                       seed_transitions: Optional[Iterable[str]] = None,
+                       seed_closed: bool = False
                        ) -> Tuple[Function, TraversalStats]:
     """Compute the reachable full states of an STG symbolically.
 
@@ -56,6 +59,20 @@ def symbolic_traversal(encoding: SymbolicEncoding,
     observer:
         Optional callback invoked with every new ``Reached`` set (used by
         the consistency check to inspect states as they appear).
+    seed:
+        Characteristic function of *known-reachable* states to start the
+        fixpoint from instead of the initial state alone (the delta
+        warm-start of :mod:`repro.delta.warmstart`).  The caller
+        guarantees every seed state is genuinely reachable, so the
+        fixpoint -- and with it every verdict -- is exactly the cold
+        one; only the iteration path (and its statistics) changes.
+    seed_transitions:
+        With ``seed_closed=True``, the only transitions that still need
+        firing: the seed is already closed under all others (strictly
+        monotone "closed" edits, where the additions touch no
+        pre-existing place or signal).
+    seed_closed:
+        Restrict the sweep to ``seed_transitions`` (see above).
 
     Returns
     -------
@@ -69,6 +86,11 @@ def symbolic_traversal(encoding: SymbolicEncoding,
     transition_list: List[str] = list(
         transitions if transitions is not None else encoding.stg.transitions)
     reached = initial if initial is not None else encoding.initial_state()
+    if seed is not None:
+        reached = reached | seed
+        if seed_closed:
+            keep = set(seed_transitions or ())
+            transition_list = [t for t in transition_list if t in keep]
     stats = TraversalStats(num_variables=len(encoding.all_variables))
     manager = encoding.manager
     base_lookups = manager.cache_lookups
@@ -77,8 +99,8 @@ def symbolic_traversal(encoding: SymbolicEncoding,
     # size, live nodes -- the dynamic-reordering trigger signal) only
     # cost anything when a tracer is active.
     tracer = obs.active()
-    with obs.span("traversal", manager=manager,
-                  strategy=strategy) as span:
+    with obs.span("traversal", manager=manager, strategy=strategy,
+                  seeded=seed is not None) as span:
         start = time.perf_counter()
         stats.observe_reached(reached.size())
         if observer is not None:

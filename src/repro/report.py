@@ -97,6 +97,12 @@ class ImplementabilityReport:
     bdd_peak_nodes: Optional[int] = None
     bdd_final_nodes: Optional[int] = None
     bdd_variables: Optional[int] = None
+    # Delta warm-start provenance (:mod:`repro.delta`): how the run
+    # reused a base entry -- reuse tier, classification reasons, edit
+    # summary.  Pure execution provenance like ``timings``: stamped by
+    # the api facade after the engine ran, never consulted by any check,
+    # and stripped from the runner's stable views.
+    delta: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # Derived results
@@ -182,6 +188,10 @@ class ImplementabilityReport:
             rendered = ", ".join(f"{name} {value:.3f}s"
                                  for name, value in self.timings.items())
             lines.append(f"  time: {rendered} (total {self.total_time:.3f}s)")
+        if self.delta:
+            lines.append(f"  delta: tier {self.delta.get('tier')} "
+                         f"(closed={self.delta.get('closed')}) from base "
+                         f"{str(self.delta.get('base'))[:12]}")
         return "\n".join(lines)
 
     # ------------------------------------------------------------------

@@ -32,8 +32,11 @@ from repro.api.config import EXECUTION_KNOB_FIELDS, EngineConfig
 #:     running a ``--checks`` subset computes different verdicts;
 #:  4: report dicts render the derived classification explicitly --
 #:     including the ``partial`` verdict of subset runs -- so records
-#:     written by older schemas would not be byte-identical.)
-SCHEMA_VERSION = 4
+#:     written by older schemas would not be byte-identical.
+#:  5: delta warm-starts made the path-dependent traversal statistics
+#:     (iterations, images, peak nodes) volatile -- they left the stable
+#:     view, and reports grew the ``delta`` provenance block.)
+SCHEMA_VERSION = 5
 
 
 class PlanError(ValueError):

@@ -25,12 +25,17 @@ from repro.report import ImplementabilityReport
 STATUSES = ("ok", "mismatch", "error", "timeout")
 
 #: Traversal-statistics fields that vary with execution circumstances
-#: (wall clock, manager working set, operation-cache state/warm starts)
-#: rather than with the verdict; stripped from :meth:`EntryResult.
-#: stable_dict` so stable JSON stays byte-identical across backends,
-#: machines and BDD-cache states.
+#: (wall clock, manager working set, operation-cache state, warm and
+#: delta-seeded starts) rather than with the verdict; stripped from
+#: :meth:`EntryResult.stable_dict` so stable JSON stays byte-identical
+#: across backends, machines and BDD-cache states.  ``iterations``,
+#: ``images_computed`` and ``peak_nodes`` joined the list with the delta
+#: warm-starts of :mod:`repro.delta`: a seeded traversal walks a
+#: different path to the *same* canonical fixpoint, so only the
+#: fixpoint-derived fields (states, final nodes, variables) stay stable.
 VOLATILE_TRAVERSAL_FIELDS = ("wall_time_s", "peak_live_nodes",
-                             "cache_lookups", "cache_hits")
+                             "cache_lookups", "cache_hits",
+                             "iterations", "images_computed", "peak_nodes")
 
 
 @dataclass
@@ -132,6 +137,11 @@ class EntryResult:
         if data["report"] is not None:
             data["report"] = dict(data["report"])
             data["report"]["timings"] = None
+            # Path-dependent / provenance report fields (see
+            # VOLATILE_TRAVERSAL_FIELDS on peak nodes; ``delta`` is
+            # execution provenance by construction).
+            data["report"]["bdd_peak_nodes"] = None
+            data["report"]["delta"] = None
         if data["traversal"] is not None:
             data["traversal"] = {
                 key: value for key, value in data["traversal"].items()

@@ -330,7 +330,8 @@ class ServeApp:
         job.enqueued()
         self.metrics.gauge("serve.queue.depth").set(self._queue.qsize())
         queued = protocol.queued_event(job.id, task.name, task.fingerprint,
-                                       self._queue.qsize())
+                                       self._queue.qsize(),
+                                       base=task.config.base_fingerprint)
         if request.stream:
             await self._stream_events(writer, job, queued)
         else:

@@ -45,6 +45,7 @@ class ServeClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self._server_schema: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Checking
@@ -53,15 +54,21 @@ class ServeClient:
               g_text: Optional[str] = None, name: Optional[str] = None,
               config: Optional[Dict[str, object]] = None,
               checks: Optional[Sequence[str]] = None,
-              delay: float = 0.0) -> Dict[str, object]:
+              delay: float = 0.0,
+              base: Optional[str] = None) -> Dict[str, object]:
         """Run one check and return the terminal ``result`` event.
 
         Uses the non-streaming protocol (one JSON response).  A terminal
         ``error`` event -- and any HTTP error -- raises
-        :class:`ServeClientError`.
+        :class:`ServeClientError`.  ``base`` (schema 2) requests a delta
+        warm-start from an earlier task name, corpus entry or
+        reachability fingerprint; against a schema-1 daemon it raises
+        before anything is sent (see :meth:`server_schema`).
         """
+        if base is not None:
+            self._require_schema(2, "base")
         body = self._check_body(entry, g_text, name, config, checks,
-                                delay, stream=False)
+                                delay, stream=False, base=base)
         response = self._request("POST", "/check", body)
         payload = self._read_json(response)
         if response.status != 200 or payload.get("type") != "result":
@@ -75,12 +82,16 @@ class ServeClient:
                      name: Optional[str] = None,
                      config: Optional[Dict[str, object]] = None,
                      checks: Optional[Sequence[str]] = None,
-                     delay: float = 0.0) -> Iterator[Dict[str, object]]:
+                     delay: float = 0.0,
+                     base: Optional[str] = None
+                     ) -> Iterator[Dict[str, object]]:
         """Yield the event stream of one check, ending on the terminal
         event (which is yielded too, never raised: streaming callers see
-        the protocol verbatim)."""
+        the protocol verbatim).  ``base`` as on :meth:`check`."""
+        if base is not None:
+            self._require_schema(2, "base")
         body = self._check_body(entry, g_text, name, config, checks,
-                                delay, stream=True)
+                                delay, stream=True, base=base)
         response = self._request("POST", "/check", body)
         if response.status != 200:
             payload = self._read_json(response)
@@ -101,7 +112,7 @@ class ServeClient:
 
     @staticmethod
     def _check_body(entry, g_text, name, config, checks, delay,
-                    stream) -> Dict[str, object]:
+                    stream, base=None) -> Dict[str, object]:
         body: Dict[str, object] = {"stream": stream}
         if entry is not None:
             body["entry"] = entry
@@ -115,7 +126,32 @@ class ServeClient:
             body["checks"] = list(checks)
         if delay:
             body["delay"] = delay
+        if base is not None:
+            body["base"] = base
         return body
+
+    # ------------------------------------------------------------------
+    # Schema negotiation
+    # ------------------------------------------------------------------
+    def server_schema(self) -> int:
+        """The daemon's protocol schema version (cached per client).
+
+        One ``GET /healthz`` on first use; a new-client-vs-old-server
+        feature mismatch then fails fast on this side of the wire with a
+        message naming both versions, instead of an opaque 400 from a
+        daemon that never heard of the field.
+        """
+        if self._server_schema is None:
+            self._server_schema = int(self.health().get("schema", 1))
+        return self._server_schema
+
+    def _require_schema(self, minimum: int, feature: str) -> None:
+        schema = self.server_schema()
+        if schema < minimum:
+            raise ServeClientError(
+                f"{feature!r} needs protocol schema >= {minimum}, but "
+                f"the daemon at {self.host}:{self.port} serves schema "
+                f"{schema}")
 
     # ------------------------------------------------------------------
     # Introspection and lifecycle

@@ -39,14 +39,17 @@ from repro.runner.results import EntryResult
 #: Bump when the request/event schema changes incompatibly; served in
 #: every ``queued`` event and by ``GET /healthz`` so clients can reject
 #: a future they do not understand.
-SERVE_SCHEMA_VERSION = 1
+#: (2: the optional ``base`` request field -- delta warm-starts for
+#:     edited re-checks -- and strict validation of the keys *inside*
+#:     the ``config`` dict, which schema 1 silently ignored.)
+SERVE_SCHEMA_VERSION = 2
 
 #: Event types that end a job's stream.
 TERMINAL_EVENTS = ("result", "error")
 
 #: Top-level keys a ``POST /check`` body may carry.
 REQUEST_KEYS = ("entry", "g_text", "name", "config", "checks", "delay",
-                "stream")
+                "stream", "base")
 
 
 class ProtocolError(ValueError):
@@ -68,6 +71,11 @@ class CheckRequest:
     :attr:`~repro.runner.plan.SweepTask.delay` (a testing hook, not
     fingerprint material); ``stream`` selects chunked JSONL streaming
     (the default) versus a single JSON response.
+
+    ``base`` (schema 2) requests a delta warm-start: a corpus entry
+    name, the task name of an earlier request on this daemon, or a raw
+    reachability fingerprint.  The warm state resolves it against the
+    shared BDD store (:meth:`repro.serve.state.WarmState.resolve_base`).
     """
 
     entry: Optional[str] = None
@@ -77,6 +85,7 @@ class CheckRequest:
     checks: Optional[Tuple[str, ...]] = None
     delay: float = 0.0
     stream: bool = True
+    base: Optional[str] = None
 
 
 def parse_check_request(data: object) -> CheckRequest:
@@ -102,9 +111,11 @@ def parse_check_request(data: object) -> CheckRequest:
             "exactly one of 'entry' (a corpus name) and 'g_text' "
             "(raw .g source) is required")
     config = data.get("config")
-    if config is not None and not isinstance(config, dict):
-        raise ProtocolError("'config' must be a JSON object (an "
-                            "EngineConfig dict)")
+    if config is not None:
+        if not isinstance(config, dict):
+            raise ProtocolError("'config' must be a JSON object (an "
+                                "EngineConfig dict)")
+        _validate_config_keys(config)
     checks = data.get("checks")
     if checks is not None:
         if (not isinstance(checks, (list, tuple))
@@ -120,7 +131,29 @@ def parse_check_request(data: object) -> CheckRequest:
         raise ProtocolError("'stream' must be a boolean")
     return CheckRequest(entry=entry, g_text=g_text,
                         name=_optional_str(data, "name"), config=config,
-                        checks=checks, delay=float(delay), stream=stream)
+                        checks=checks, delay=float(delay), stream=stream,
+                        base=_optional_str(data, "base"))
+
+
+def _validate_config_keys(config: Mapping[str, object]) -> None:
+    """Reject unknown keys inside the ``config`` dict.
+
+    :meth:`EngineConfig.from_dict` deliberately ignores unknown keys
+    (old serialised configs must keep loading), but on the wire that
+    tolerance turns a typo'd ``"orderin"`` into a silently different
+    run -- so the protocol is strict where the persistence layer is
+    lenient.
+    """
+    from dataclasses import fields
+
+    from repro.api.config import EngineConfig
+
+    known = tuple(spec.name for spec in fields(EngineConfig))
+    unknown = sorted(set(config) - set(known))
+    if unknown:
+        raise ProtocolError(
+            f"unknown config key(s) {', '.join(map(repr, unknown))}; "
+            f"expected EngineConfig fields: {', '.join(known)}")
 
 
 def _optional_str(data: Mapping[str, object], key: str) -> Optional[str]:
@@ -146,10 +179,17 @@ def anonymous_name(g_text: str) -> str:
 # Event records (one JSON line each on a streaming response)
 # ----------------------------------------------------------------------
 def queued_event(job_id: int, name: str, fingerprint: str,
-                 queue_depth: int) -> Dict[str, object]:
-    return {"type": "queued", "schema": SERVE_SCHEMA_VERSION,
-            "job": job_id, "name": name, "fingerprint": fingerprint,
-            "queue_depth": queue_depth}
+                 queue_depth: int,
+                 base: Optional[str] = None) -> Dict[str, object]:
+    event: Dict[str, object] = {
+        "type": "queued", "schema": SERVE_SCHEMA_VERSION,
+        "job": job_id, "name": name, "fingerprint": fingerprint,
+        "queue_depth": queue_depth}
+    if base is not None:
+        # The resolved base *fingerprint* -- what a client should quote
+        # back as "base" to re-use the same entry directly.
+        event["base"] = base
+    return event
 
 
 def running_event(job_id: int, name: str) -> Dict[str, object]:

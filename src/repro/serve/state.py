@@ -10,7 +10,10 @@ life and owns
 * the shared :class:`~repro.cache.BDDStore` directory (a repeat request
   that *does* recompute -- say, a different check subset over the same
   specification -- still skips the reachability traversal; the store's
-  hit counters prove it),
+  hit counters prove it.  Schema-2 ``base`` requests stretch the same
+  store to *edited* specifications: :meth:`WarmState.resolve_base`
+  turns the reference into a fingerprint and the engine's delta
+  warm-start seeds the traversal from the base entry),
 * the interned corpus materialisations and raw ``.g`` texts (repeat
   requests re-use the parsed entry data instead of re-expanding it),
 * the per-fingerprint single-flight locks (N concurrent requests for
@@ -36,16 +39,19 @@ from __future__ import annotations
 
 import asyncio
 import os
+import re
 from typing import Dict, Optional, Tuple
 
 from repro.api.config import EngineConfig
-from repro.cache import BDDStore
+from repro.cache import BDDStore, reachable_fingerprint
 from repro.obs import MetricsRegistry
 from repro.runner.plan import SweepTask, normalise_expected
 from repro.runner.results import EntryResult
 from repro.runner.store import RunStore
 from repro.runner.worker import execute_payload_async
 from repro.serve.protocol import CheckRequest, ProtocolError, anonymous_name
+
+_FINGERPRINT = re.compile(r"[0-9a-f]{64}")
 
 #: Subdirectories of the daemon state directory.
 RUN_STORE_DIR = "run-store"
@@ -70,6 +76,12 @@ class WarmState:
         self._corpus_materials: Dict[str, _Material] = {}
         self._g_texts: Dict[str, str] = {}
         self._flights: Dict[str, asyncio.Lock] = {}
+        #: Task name -> raw ``.g`` text of every task this daemon has
+        #: built, so a later request can say ``base=<that name>``.
+        self._task_sources: Dict[str, str] = {}
+        #: (name, raw text) -> canonical text, as the worker would
+        #: serialise it (parse under the task name, write back).
+        self._canonical_texts: Dict[Tuple[str, str], str] = {}
         self._prime_metrics()
 
     def _prime_metrics(self) -> None:
@@ -80,6 +92,7 @@ class WarmState:
         self.metrics.counter("serve.rejected")
         self.metrics.counter("serve.runstore.hits")
         self.metrics.counter("serve.runstore.misses")
+        self.metrics.counter("serve.delta.requests")
         self.metrics.histogram("serve.request.seconds")
         self.metrics.histogram("serve.queue_wait.seconds")
         self.metrics.histogram("serve.entry.seconds")
@@ -117,10 +130,55 @@ class WarmState:
         if arbitration is not None:
             config = config.with_overrides(
                 arbitration_places=tuple(arbitration))
+        if request.base is not None:
+            self.metrics.counter("serve.delta.requests").add(1)
+            config = config.with_overrides(
+                base_fingerprint=self.resolve_base(request.base, config))
+        self._task_sources[name] = g_text
         return SweepTask(name=name, g_text=g_text, config=config,
                          expected=expected, delay=request.delay,
                          checks=request.checks,
                          provenance={"backend": "serve"})
+
+    def resolve_base(self, base: str, config: EngineConfig) -> str:
+        """Turn a request's ``base`` reference into a BDD-store fingerprint.
+
+        Accepts a raw 64-hex reachability fingerprint (as echoed in the
+        ``base`` field of delta ``queued`` events -- distinct from the
+        event's ``fingerprint``, which keys the RunStore), the task
+        name of an earlier request on this daemon, or a corpus entry
+        name; anything else is a 404
+        :class:`ProtocolError`.  Names are canonicalised exactly the way
+        the worker stores entries -- parse the task's text under its
+        name, write it back -- so the fingerprint matches what the base
+        run deposited in the shared store.
+        """
+        if _FINGERPRINT.fullmatch(base):
+            return base
+        g_text = self._task_sources.get(base)
+        name = base
+        if g_text is None:
+            try:
+                name, g_text, _, _ = self._corpus_material(base)
+            except ProtocolError:
+                raise ProtocolError(
+                    f"unknown base {base!r}: not a reachability "
+                    f"fingerprint, a previously checked task name, or a "
+                    f"corpus entry", status=404) from None
+        return reachable_fingerprint(self._canonical_text(name, g_text),
+                                     config)
+
+    def _canonical_text(self, name: str, g_text: str) -> str:
+        """The worker-side canonical serialisation of a task's text."""
+        key = (name, g_text)
+        canonical = self._canonical_texts.get(key)
+        if canonical is None:
+            from repro.stg.parser import parse_g
+            from repro.stg.writer import to_g_string
+
+            canonical = to_g_string(parse_g(g_text, name=name))
+            self._canonical_texts[key] = canonical
+        return canonical
 
     def _corpus_material(self, entry_name: str) -> _Material:
         """The interned materialisation of a registered corpus entry.
@@ -196,6 +254,14 @@ class WarmState:
             self.bdd_store.warm_starts)
         self.metrics.gauge("serve.bdd.invalidations").set(
             self.bdd_store.invalidations)
+        self.metrics.gauge("serve.bdd.delta_hits").set(
+            self.bdd_store.delta_hits)
+        self.metrics.gauge("serve.bdd.delta_seeds").set(
+            self.bdd_store.delta_seeds)
+        self.metrics.gauge("serve.bdd.delta_prewarms").set(
+            self.bdd_store.delta_prewarms)
+        self.metrics.gauge("serve.bdd.delta_colds").set(
+            self.bdd_store.delta_colds)
         self.metrics.gauge("serve.runstore.records").set(
             len(self.run_store))
         self.metrics.gauge("serve.intern.entries").set(

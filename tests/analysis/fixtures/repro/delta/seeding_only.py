@@ -1,0 +1,20 @@
+"""Clean fixture for RA204: delta code that stays inside its lane.
+
+Imports only the structural/traversal layers and communicates with the
+pipeline exclusively through its public seeding attributes; its own
+private bookkeeping (``self._cache``) is allowed.
+"""
+
+from repro.core.encoding import SymbolicEncoding
+from repro.stg.parser import parse_g
+
+
+class SeedPlanner:
+    def __init__(self):
+        self._cache = {}
+
+    def plan(self, pipeline, g_text, seed):
+        self._cache[g_text] = parse_g(g_text)
+        pipeline.seed_reached = seed
+        pipeline.seed_closed = True
+        return SymbolicEncoding

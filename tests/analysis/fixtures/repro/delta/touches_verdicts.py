@@ -1,0 +1,19 @@
+"""Firing fixture for RA204: delta code reaching verdict machinery.
+
+The path fragment ``repro/delta/`` marks this as incremental-
+verification code, whose only sanctioned influence on a run is the
+traversal seed.
+"""
+
+import repro.synthesis  # must-fire: RA204
+from repro.api.checks import resolve_checks  # must-fire: RA204
+from repro.report import ImplementabilityReport  # must-fire: RA204
+from repro.sg.checker import ExplicitVerification  # must-fire: RA204
+
+
+def sneak_a_verdict(pipeline, stg):
+    report = ImplementabilityReport(name=stg.name)
+    pipeline._reached = None  # must-fire: RA204
+    pipeline._checker._verdicts = {}  # must-fire: RA204
+    return report, resolve_checks(None), ExplicitVerification, \
+        repro.synthesis

@@ -1,5 +1,6 @@
-"""Facade-purity pass (RA201-RA202): shims constructed only in the
-facade layer, front-end code bound to repro.api."""
+"""Facade-purity pass (RA201-RA204): shims constructed only in the
+facade layer, front-end code bound to repro.api, serve code kept to
+transport, delta code kept to traversal seeding."""
 
 from tools.analysis import facade
 
@@ -37,6 +38,29 @@ class TestServeFiring:
     def test_messages_point_at_the_facade(self, run_pass):
         findings = run_pass(facade, self.FIXTURE)
         assert all("repro.api" in f.message for f in findings)
+
+
+class TestDeltaFiring:
+    FIXTURE = "repro/delta/touches_verdicts.py"
+
+    def test_marked_lines_fire(self, run_pass, expected_lines):
+        findings = run_pass(facade, self.FIXTURE)
+        assert sorted(f.line for f in findings if f.rule == "RA204") == \
+            expected_lines(self.FIXTURE, "RA204")
+
+    def test_delta_violations_report_only_ra204(self, run_pass):
+        # The delta fragments overlap neither the frontend nor the
+        # serve fragments: one violation, one rule.
+        findings = run_pass(facade, self.FIXTURE)
+        assert {f.rule for f in findings} == {"RA204"}
+
+    def test_messages_name_the_seeding_contract(self, run_pass):
+        findings = run_pass(facade, self.FIXTURE)
+        assert all("seed" in f.message for f in findings)
+
+
+def test_seeding_only_delta_code_is_clean(run_pass):
+    assert run_pass(facade, "repro/delta/seeding_only.py") == []
 
 
 def test_transport_only_serve_code_is_clean(run_pass):

@@ -6,6 +6,7 @@ traversal, while a *corrupt* entry warns with :class:`BDDStoreWarning`
 and recomputes -- never crashes, never serves garbage.
 """
 
+import os
 import warnings
 
 import pytest
@@ -106,7 +107,7 @@ class TestInvalidation:
         cold.reached
         path = store._path(pipeline_name(cold))
         with open(path, "w", encoding="utf-8") as handle:
-            handle.write("bddstore 1\nmeta {not json\ngarbage\n")
+            handle.write("bddstore 2\nmeta {not json\ngarbage\n")
         recovered = bound_pipeline(store)
         with pytest.warns(BDDStoreWarning, match="corrupt BDD-store"):
             recovered.reached
@@ -134,6 +135,46 @@ class TestInvalidation:
             handle.writelines(lines[:3])  # cut mid-serialisation
         with pytest.warns(BDDStoreWarning):
             bound_pipeline(store).reached
+
+
+class TestNameSharing:
+    """Two contents under one name coexist (the editor-loop shape: an
+    edited spec usually keeps the base's ``.model`` name, and its run
+    must not evict the base entry)."""
+
+    def test_second_content_parks_on_the_overflow_path(self, store):
+        bound_pipeline(store).reached
+        changed = bound_pipeline(
+            store, config=api.EngineConfig(ordering="declaration"))
+        changed.reached  # miss + re-persist under the same name
+        name = pipeline_name(changed)
+        assert store._path(name) != store._alt_path(
+            name, reachable_fingerprint(
+                to_g_string(changed.stg),
+                api.EngineConfig(ordering="declaration")))
+        # Both contents now serve warm, neither evicted the other.
+        bound_pipeline(store).reached
+        bound_pipeline(
+            store,
+            config=api.EngineConfig(ordering="declaration")).reached
+        assert store.hits == 2
+
+    def test_corrupt_primary_is_reclaimed_not_overflowed(self, store):
+        cold = bound_pipeline(store)
+        cold.reached
+        path = store._path(pipeline_name(cold))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("bddstore 2\nmeta {not json\ngarbage\n")
+        recovered = bound_pipeline(store)
+        with pytest.warns(BDDStoreWarning, match="corrupt BDD-store"):
+            recovered.reached
+        # The unreadable primary was overwritten in place, no overflow
+        # file appeared, and the entry serves warm again.
+        assert sorted(entry for entry in os.listdir(store.directory)
+                      if entry.endswith(".bdd")) == [
+            f"{pipeline_name(cold)}.bdd"]
+        bound_pipeline(store).reached
+        assert store.hits == 1
 
 
 class TestWarmStart:

@@ -132,6 +132,11 @@ class TestStableJsonStripsVolatileStats:
         assert "cache_hits" in traversal and "cache_lookups" in traversal
         stable_traversal = stable["entries"][0]["traversal"]
         for volatile in ("wall_time_s", "peak_live_nodes",
-                         "cache_hits", "cache_lookups"):
+                         "cache_hits", "cache_lookups",
+                         "iterations", "images_computed", "peak_nodes"):
+            # Path-dependent counters (delta warm-starts take a
+            # different path to the same fixpoint) stay out of the
+            # stable view.
             assert volatile not in stable_traversal
-        assert stable_traversal["iterations"] == traversal["iterations"]
+        assert stable_traversal["num_states"] == traversal["num_states"]
+        assert stable_traversal["final_nodes"] == traversal["final_nodes"]

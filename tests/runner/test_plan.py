@@ -147,13 +147,13 @@ class TestFingerprints:
         import hashlib
         import json
 
+        from repro.api.config import EXECUTION_KNOB_FIELDS
         from repro.runner.plan import SCHEMA_VERSION, normalise_expected
 
         task = SweepPlan(names=["handshake"]).tasks()[0]
         config = task.config.to_dict()
-        config.pop("timeout")
-        config.pop("bdd_cache_dir")
-        config.pop("trace_dir")
+        for knob in EXECUTION_KNOB_FIELDS:
+            config.pop(knob)
         material = json.dumps(
             {"schema": SCHEMA_VERSION, "g_text": task.g_text,
              "config": config,

@@ -75,6 +75,11 @@ RULES: Dict[str, Rule] = {rule.id: rule for rule in (
          "repro.serve code imports or calls verification internals "
          "(engine modules, pipeline/checker classes) instead of the "
          "repro.api facade; the daemon is transport and caching only"),
+    Rule("RA204", "delta-verdict-influence",
+         "repro.delta code reaches verdict machinery (reports, property "
+         "checks, the explicit oracle, synthesis) or pokes private "
+         "engine state; delta warm-starts may only seed the traversal "
+         "-- verdicts must be byte-identical to a cold run"),
     # registry-hygiene pass (RA3xx)
     Rule("RA301", "unexercised-registration",
          "name registered with register_check / engine / backend "

@@ -1,4 +1,4 @@
-"""Facade-purity pass (RA201-RA202).
+"""Facade-purity pass (RA201-RA204).
 
 PR 3 demoted ``ImplementabilityChecker`` and ``ExplicitChecker`` to
 deprecation shims over :func:`repro.api.run`; everything user-facing
@@ -19,7 +19,16 @@ This pass turns that convention into findings:
   internals directly.  The daemon layer is transport, queueing and
   caching only -- it verifies exclusively through the facade (via the
   :func:`repro.runner.worker.execute_payload_async` primitive), which
-  is what keeps daemon verdicts byte-identical to batch-check runs.
+  is what keeps daemon verdicts byte-identical to batch-check runs;
+* **RA204** -- incremental-verification code (anything under
+  ``repro/delta/``) reaches verdict machinery: importing from
+  ``repro.report``, ``repro.api.checks``, ``repro.sg`` (the explicit
+  oracle) or ``repro.synthesis``, or assigning to an
+  underscore-prefixed attribute of another object (private engine
+  state).  The delta layer's entire influence on a run is the traversal
+  seed it hands the pipeline through its public seeding attributes --
+  that containment is what makes "delta verdicts are byte-identical to
+  cold verdicts" an invariant rather than a hope.
 """
 
 from __future__ import annotations
@@ -55,6 +64,16 @@ _SERVE_FRAGMENTS = ("repro/serve/",)
 #: Module prefixes the serve layer must not import from.
 _SERVE_FORBIDDEN_MODULES = ("repro.core", "repro.sg", "repro.engines")
 
+#: Incremental-verification modules bound to the RA204 contract: they
+#: may only seed the traversal, never touch verdict machinery.
+_DELTA_FRAGMENTS = ("repro/delta/",)
+
+#: Module prefixes the delta layer must not import from: everything
+#: that produces or represents verdicts.  (The traversal/encoding/BDD
+#: layers are fair game -- seeds are made of those.)
+_DELTA_FORBIDDEN_MODULES = ("repro.report", "repro.api.checks",
+                            "repro.sg", "repro.synthesis")
+
 
 def _shim_allowed(path: str) -> bool:
     return any(fragment in path for fragment in _SHIM_ALLOWED_FRAGMENTS)
@@ -68,15 +87,26 @@ def _is_serve(path: str) -> bool:
     return any(fragment in path for fragment in _SERVE_FRAGMENTS)
 
 
+def _is_delta(path: str) -> bool:
+    return any(fragment in path for fragment in _DELTA_FRAGMENTS)
+
+
 def _serve_forbidden_module(module: str) -> bool:
     return any(module == prefix or module.startswith(prefix + ".")
                for prefix in _SERVE_FORBIDDEN_MODULES)
+
+
+def _delta_forbidden_module(module: str) -> bool:
+    return any(module == prefix or module.startswith(prefix + ".")
+               for prefix in _DELTA_FORBIDDEN_MODULES)
 
 
 def _check_file(source: SourceFile, findings: List[Finding]) -> None:
     assert source.tree is not None
     frontend = _is_frontend(source.path)
     serve = _is_serve(source.path)
+    if _is_delta(source.path):
+        _check_delta_file(source, findings)
     for node in ast.walk(source.tree):
         if isinstance(node, ast.Call):
             func = node.func
@@ -143,6 +173,56 @@ def _check_serve_import(source: SourceFile, node, findings:
                 message=f"serve-daemon code imports {alias.name} from "
                         f"{module}; verification goes through "
                         f"repro.api only"))
+
+
+def _check_delta_file(source: SourceFile,
+                      findings: List[Finding]) -> None:
+    """RA204: delta code seeds traversals; it never touches verdicts.
+
+    Two concrete teeth: no imports from the verdict-producing modules,
+    and no assignment to an underscore-prefixed attribute of another
+    object (``self``/``cls`` excepted -- a module's own private state
+    is its own business).  Writing the pipeline's *public* seeding
+    attributes (``seed_reached`` and friends) is exactly the sanctioned
+    channel, so it passes by construction.
+    """
+    assert source.tree is not None
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _delta_forbidden_module(alias.name):
+                    findings.append(_delta_import_finding(
+                        source, node, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if _delta_forbidden_module(module):
+                findings.append(_delta_import_finding(
+                    source, node, module))
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and target.attr.startswith("_")
+                        and not (isinstance(target.value, ast.Name)
+                                 and target.value.id in ("self", "cls"))):
+                    findings.append(Finding(
+                        rule="RA204", path=source.path, line=node.lineno,
+                        message=f"delta code assigns the private "
+                                f"attribute .{target.attr} of another "
+                                f"object; delta warm-starts influence a "
+                                f"run only through the pipeline's "
+                                f"public seeding attributes"))
+
+
+def _delta_import_finding(source: SourceFile, node,
+                          module: str) -> Finding:
+    return Finding(
+        rule="RA204", path=source.path, line=node.lineno,
+        message=f"delta code imports from {module}; the delta layer "
+                f"seeds traversals only -- verdict machinery (reports, "
+                f"checks, the explicit oracle, synthesis) is off "
+                f"limits")
 
 
 def run(project: Project) -> List[Finding]:

@@ -11,9 +11,18 @@ requests, and reports per-request latency percentiles for two rounds:
 * **warm** -- the identical request mix again: every request is served
   from the daemon's RunStore without running anything.
 
+A third **edit-loop** scenario measures the incremental-verification
+path end to end: one large base specification is checked once, then a
+sequence of distinct one-signal edits is re-checked twice each way --
+cold (no ``base``) and delta (``base="editloop-base"``, the schema-2
+warm start seeding the traversal from the cached base entry).  Every
+delta re-check must actually report the ``seed`` reuse tier; the
+cold-vs-delta p50 ratio is the committed speedup number.
+
 The ``--output`` JSON (committed as ``BENCH_serve.json`` by ``make
 bench``) records p50/p99 per round plus the daemon's own counters, so
-the warm numbers are *provably* cache-served (hits == warm requests).
+the warm numbers are *provably* cache-served (hits == warm requests)
+and the delta numbers provably seeded (``serve.bdd.delta_seeds``).
 
 Usage::
 
@@ -44,6 +53,15 @@ from repro.serve import ServeClient  # noqa: E402
 ENTRIES = ("handshake", "vme_read", "mutex_element", "sbuf_send_ctl",
            "master_read_2", "muller_pipeline_4", "random_ring_n4_s1",
            "random_ring_n6_s3")
+
+#: Scale of the edit-loop base specification -- large enough that a
+#: cold re-check costs real traversal time, so the seeded speedup is
+#: measurable rather than noise.
+EDIT_LOOP_SCALE = 18
+#: Distinct one-signal edits re-checked against the base (each variant
+#: differs in content: identical texts would be served by the exact
+#: warm stores and measure nothing).
+EDIT_LOOP_EDITS = 6
 
 _LISTENING = re.compile(r"listening on http://([0-9.]+):(\d+)")
 
@@ -98,6 +116,74 @@ def run_round(host, port, clients, requests_per_client):
     return sorted(latency for chunk in per_client for latency in chunk)
 
 
+def edit_loop_specs():
+    """The base text and the cold/delta one-signal edit variants.
+
+    Every variant keeps the base's ``.model`` name (a re-checked saved
+    file) and adds a disconnected two-phase cycle of a fresh internal
+    signal -- the seed-tier shape, where the daemon extends the base's
+    reachable set instead of traversing from the initial state.
+    """
+    from repro.stg.generators import build_example
+    from repro.stg.parser import parse_g
+    from repro.stg.stg import SignalKind
+    from repro.stg.writer import to_g_string
+
+    base = to_g_string(build_example("muller_pipeline", EDIT_LOOP_SCALE))
+
+    def variant(signal):
+        stg = parse_g(base)
+        rising, falling = f"{signal}+", f"{signal}-"
+        p0, p1 = f"p_{signal}0", f"p_{signal}1"
+        stg.add_signal(signal, SignalKind.INTERNAL, initial_value=False)
+        stg.add_place(p0, tokens=1)
+        stg.add_place(p1)
+        stg.add_transition(rising)
+        stg.add_transition(falling)
+        for arc in ((p0, rising), (rising, p1),
+                    (p1, falling), (falling, p0)):
+            stg.add_arc(*arc)
+        return to_g_string(stg)
+
+    colds = [variant(f"cold{index}") for index in range(EDIT_LOOP_EDITS)]
+    deltas = [variant(f"edit{index}") for index in range(EDIT_LOOP_EDITS)]
+    return base, colds, deltas
+
+
+def run_edit_loop(host, port):
+    """The sequential editor loop: base check, then cold vs delta edits.
+
+    Returns ``(cold_latencies, delta_latencies)``, both sorted; exits
+    if any delta re-check fails to engage the seed tier (a delta number
+    that silently measured a cold traversal would be meaningless).
+    """
+    client = ServeClient(host=host, port=port)
+    base, colds, deltas = edit_loop_specs()
+    client.check(g_text=base, name="editloop-base", checks=["csc"])
+    cold_latencies = []
+    for index, text in enumerate(colds):
+        start = time.perf_counter()
+        result = client.check(g_text=text, name=f"editloop-cold{index}",
+                              checks=["csc"])
+        cold_latencies.append(time.perf_counter() - start)
+        if result["status"] != "ok":
+            raise SystemExit(f"load_test: cold edit {index} failed: "
+                             f"{result['status']}")
+    delta_latencies = []
+    for index, text in enumerate(deltas):
+        start = time.perf_counter()
+        result = client.check(g_text=text, name=f"editloop-edit{index}",
+                              checks=["csc"], base="editloop-base")
+        delta_latencies.append(time.perf_counter() - start)
+        delta = result["entry"]["report"]["delta"]
+        if result["status"] != "ok" or not delta or \
+                delta["tier"] != "seed":
+            raise SystemExit(
+                f"load_test: delta edit {index} did not seed: "
+                f"status {result['status']}, delta {delta}")
+    return sorted(cold_latencies), sorted(delta_latencies)
+
+
 def summarise(latencies):
     return {
         "requests": len(latencies),
@@ -140,13 +226,35 @@ def main(argv=None):
                       f"{rounds[label]['p50_ms']:9.3f} ms   p99 "
                       f"{rounds[label]['p99_ms']:9.3f} ms   "
                       f"({rounds[label]['requests']} requests)")
+            print(f"load_test: edit loop (muller_pipeline@"
+                  f"{EDIT_LOOP_SCALE}, {EDIT_LOOP_EDITS} one-signal "
+                  f"edits, cold vs --base) ...")
+            cold_edits, delta_edits = run_edit_loop(host, port)
+            edit_loop = {
+                "scale": EDIT_LOOP_SCALE,
+                "edits": EDIT_LOOP_EDITS,
+                "cold": summarise(cold_edits),
+                "delta": summarise(delta_edits),
+                "speedup_p50": round(
+                    percentile(cold_edits, 0.50)
+                    / percentile(delta_edits, 0.50), 1),
+            }
+            for label in ("cold", "delta"):
+                print(f"load_test: edit {label:5s} p50 "
+                      f"{edit_loop[label]['p50_ms']:9.3f} ms   p99 "
+                      f"{edit_loop[label]['p99_ms']:9.3f} ms")
+            print(f"load_test: edit-loop p50 speedup "
+                  f"{edit_loop['speedup_p50']}x (delta vs cold)")
             metrics = client.metrics()["metrics"]
             counters = {name: metrics[name]["value"]
                         for name in ("serve.requests",
                                      "serve.runstore.hits",
                                      "serve.runstore.misses",
                                      "serve.bdd.hits",
-                                     "serve.bdd.misses")}
+                                     "serve.bdd.misses",
+                                     "serve.delta.requests",
+                                     "serve.bdd.delta_seeds",
+                                     "serve.bdd.delta_colds")}
             client.shutdown()
         finally:
             try:
@@ -160,12 +268,18 @@ def main(argv=None):
         raise SystemExit(
             f"load_test: warm round was not cache-served "
             f"(hits {counters['serve.runstore.hits']} < {total})")
+    if counters["serve.bdd.delta_seeds"] < EDIT_LOOP_EDITS:
+        raise SystemExit(
+            f"load_test: edit-loop deltas were not seeded "
+            f"(delta_seeds {counters['serve.bdd.delta_seeds']} "
+            f"< {EDIT_LOOP_EDITS})")
     summary = {
         "clients": arguments.clients,
         "requests_per_client": arguments.requests_per_client,
         "jobs": arguments.jobs,
         "entries": list(ENTRIES),
         "rounds": rounds,
+        "edit_loop": edit_loop,
         "daemon_counters": counters,
         "speedup_p50": (round(rounds["cold"]["p50_ms"]
                               / rounds["warm"]["p50_ms"], 1)
@@ -177,7 +291,8 @@ def main(argv=None):
             handle.write("\n")
         print(f"load_test: wrote {arguments.output}")
     print(f"load_test: PASS (warm round fully cache-served, "
-          f"p50 speedup {summary['speedup_p50']}x)")
+          f"p50 speedup {summary['speedup_p50']}x; edit-loop deltas "
+          f"seeded, p50 speedup {edit_loop['speedup_p50']}x)")
     return 0
 
 

@@ -24,6 +24,11 @@ so the distributed-sweep contract is checkable on any machine:
    must produce byte-identical stable JSON (and the traced run must
    actually write per-entry trace files): observability is excluded
    from fingerprints and can never perturb a verdict.
+5. **Delta parity** -- an edited specification re-checked with
+   ``--base`` (the incremental-verification warm start seeding the
+   traversal from the cached base entry) must produce stable JSON
+   byte-identical to a cold re-check, report the seed reuse tier, and
+   leave the base entry intact for further edits of the same model.
 
 Every ``batch-check`` call is a real subprocess with a *different*
 ``PYTHONHASHSEED``, so the gate also proves the stable output is
@@ -49,15 +54,15 @@ BACKENDS = ("process", "thread", "serial", "asyncio")
 SHARD_BACKENDS = ("process", "thread", "serial", "asyncio")
 
 
-def batch_check(arguments, seed):
-    """Run ``python -m repro batch-check ...`` in a fresh interpreter."""
+def run_repro(arguments, seed):
+    """Run ``python -m repro ...`` in a fresh interpreter."""
     environment = dict(os.environ)
     environment["PYTHONPATH"] = (
         os.path.join(REPO_ROOT, "src")
         + (os.pathsep + environment["PYTHONPATH"]
            if environment.get("PYTHONPATH") else ""))
     environment["PYTHONHASHSEED"] = str(seed)
-    command = [sys.executable, "-m", "repro", "batch-check", *arguments]
+    command = [sys.executable, "-m", "repro", *arguments]
     completed = subprocess.run(
         command, env=environment, cwd=REPO_ROOT,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
@@ -67,6 +72,11 @@ def batch_check(arguments, seed):
             f"sweep-gate: {' '.join(command)} exited "
             f"{completed.returncode}")
     return completed.stdout
+
+
+def batch_check(arguments, seed):
+    """Run ``python -m repro batch-check ...`` in a fresh interpreter."""
+    return run_repro(["batch-check", *arguments], seed)
 
 
 def read(path):
@@ -166,6 +176,84 @@ def check_trace_parity(workdir):
     return True
 
 
+def write_delta_specs(workdir):
+    """The base and two edited specs of the delta leg, as ``.g`` files.
+
+    Both edits keep the base's ``.model`` name -- the realistic editor
+    loop, where a saved file is re-checked in place -- and add a
+    disconnected two-phase probe cycle on a fresh internal signal (the
+    canonical seed-tier shape).  Generation is in-process (the writer is
+    deterministic); every *verification* below runs in a
+    hash-seed-varied subprocess.
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    try:
+        from repro.stg.generators import build_example
+        from repro.stg.parser import parse_g
+        from repro.stg.stg import SignalKind
+        from repro.stg.writer import to_g_string
+    finally:
+        sys.path.pop(0)
+
+    base = build_example("muller_pipeline", 6)
+    paths = [os.path.join(workdir, "base.g")]
+    with open(paths[0], "w", encoding="utf-8") as handle:
+        handle.write(to_g_string(base))
+
+    for signal in ("xprobe", "yprobe"):
+        edited = parse_g(to_g_string(base))
+        rising, falling = f"{signal}+", f"{signal}-"
+        p0, p1 = f"p_{signal}0", f"p_{signal}1"
+        edited.add_signal(signal, SignalKind.INTERNAL,
+                          initial_value=False)
+        edited.add_place(p0, tokens=1)
+        edited.add_place(p1)
+        edited.add_transition(rising)
+        edited.add_transition(falling)
+        for arc in ((p0, rising), (rising, p1),
+                    (p1, falling), (falling, p0)):
+            edited.add_arc(*arc)
+        paths.append(os.path.join(workdir, f"edited-{signal}.g"))
+        with open(paths[-1], "w", encoding="utf-8") as handle:
+            handle.write(to_g_string(edited))
+    return paths
+
+
+def check_delta_parity(workdir):
+    print("sweep-gate: delta parity (cold re-check vs --base "
+          "warm-started re-check) ...")
+    base_path, edit1_path, edit2_path = write_delta_specs(workdir)
+    store = os.path.join(workdir, "delta-bdd-store")
+    cold_path = os.path.join(workdir, "delta-cold.json")
+    delta_path = os.path.join(workdir, "delta-warm.json")
+
+    run_repro([edit1_path, "--stable-json", cold_path], seed=901)
+    run_repro([base_path, "--bdd-cache", store], seed=903)  # populate
+    stdout = run_repro([edit1_path, "--bdd-cache", store,
+                        "--base", base_path,
+                        "--stable-json", delta_path], seed=905)
+    if "delta: tier seed" not in stdout:
+        print("sweep-gate: FAIL: the --base re-check did not report the "
+              "seed reuse tier (the warm start never engaged)")
+        return False
+    if read(delta_path) != read(cold_path):
+        print("sweep-gate: FAIL: --base warm-started stable JSON "
+              "differs from the cold re-check")
+        return False
+    # A second, different edit against the same base: the first edit's
+    # run shares the base's model name, so this only seeds if its
+    # persistence did not evict the base entry.
+    stdout = run_repro([edit2_path, "--bdd-cache", store,
+                        "--base", base_path], seed=907)
+    if "delta: tier seed" not in stdout:
+        print("sweep-gate: FAIL: the base entry did not survive the "
+              "first edit's run (second re-check fell back to cold)")
+        return False
+    print("sweep-gate: ok: seed-tier warm starts byte-identical to the "
+          "cold re-check, base entry survives the edit loop")
+    return True
+
+
 def main():
     workdir = tempfile.mkdtemp(prefix="repro-sweep-gate-")
     try:
@@ -173,6 +261,7 @@ def main():
         passed = check_shard_merge(workdir) and passed
         passed = check_bdd_cache_parity(workdir) and passed
         passed = check_trace_parity(workdir) and passed
+        passed = check_delta_parity(workdir) and passed
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
     if not passed:
