@@ -8,8 +8,11 @@
 # analyzer (python -m tools.analysis -- determinism, schema round-trips,
 # facade purity, registry hygiene), the suite with slow-test timings,
 # then the sweep gate (tools/sweep_gate.py) -- every execution backend
-# must produce byte-identical stable JSON and merging four shard stores
-# must reproduce the unsharded sweep.
+# must produce byte-identical stable JSON, merging four shard stores
+# must reproduce the unsharded sweep, and the chaos leg must prove the
+# lease fabric: a sweep under deterministic fault injection (crashes,
+# hangs, torn writes, renewal stalls) byte-identical to a clean sweep,
+# every fault class visible in the fabric.retry.* metrics.
 
 PYTHON ?= python
 export PYTHONPATH := src

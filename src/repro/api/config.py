@@ -39,7 +39,7 @@ TRAVERSAL_STRATEGIES = ("chained", "frontier")
 #: stripped from client-supplied configs by the ``repro.serve`` daemon,
 #: which owns its own cache directories.
 EXECUTION_KNOB_FIELDS = ("timeout", "bdd_cache_dir", "trace_dir",
-                         "base_fingerprint")
+                         "base_fingerprint", "deadline", "fault_plan")
 
 
 @dataclass(frozen=True)
@@ -88,6 +88,24 @@ class EngineConfig:
         the traversal starts, never its fixpoint, so the field is
         excluded from every fingerprint and the sweep gate's delta leg
         proves seeded and cold runs emit byte-identical stable JSON.
+    deadline:
+        Absolute :func:`time.monotonic` instant the entry must finish
+        by; the symbolic traversal checks it cooperatively once per
+        fixpoint iteration and raises
+        :class:`~repro.utils.timing.DeadlineExceeded` past it, which
+        the worker reports as a ``timeout`` record.  This is how the
+        ``serial``/``thread``/``asyncio`` backends -- which cannot
+        preempt a running entry -- still honour ``timeout`` budgets.
+        Normally derived from ``timeout`` by the worker; an execution
+        knob excluded from every fingerprint.
+    fault_plan:
+        Spec string of a :class:`repro.faults.FaultPlan` -- the
+        deterministic chaos dial of the lease fabric (worker crashes,
+        entry hangs, store truncation, renewal stalls).  An execution
+        knob like ``trace_dir``: injected faults are always recovered
+        by retry, so the knob can never change what a sweep computes,
+        and the sweep gate's chaos leg proves injected and clean runs
+        emit byte-identical stable JSON.
     commutativity_fallback_states:
         State bound under which the symbolic engine falls back to the
         explicit commutativity check when fake conflicts are present.
@@ -103,6 +121,8 @@ class EngineConfig:
     bdd_cache_dir: Optional[str] = None
     trace_dir: Optional[str] = None
     base_fingerprint: Optional[str] = None
+    deadline: Optional[float] = None
+    fault_plan: Optional[str] = None
     commutativity_fallback_states: int = 10_000
 
     def __post_init__(self) -> None:
@@ -139,6 +159,16 @@ class EngineConfig:
             raise ApiError(
                 f"base_fingerprint must be a 64-char lowercase hex "
                 f"reachability fingerprint, got {self.base_fingerprint!r}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ApiError(
+                f"deadline must be a positive monotonic instant, "
+                f"got {self.deadline}")
+        if self.fault_plan is not None:
+            from repro.faults import FaultSpecError, parse_fault_spec
+            try:
+                parse_fault_spec(self.fault_plan)
+            except FaultSpecError as error:
+                raise ApiError(f"bad fault_plan spec: {error}")
 
     # ------------------------------------------------------------------
     # Convenience views
@@ -188,6 +218,8 @@ class EngineConfig:
             "bdd_cache_dir": self.bdd_cache_dir,
             "trace_dir": self.trace_dir,
             "base_fingerprint": self.base_fingerprint,
+            "deadline": self.deadline,
+            "fault_plan": self.fault_plan,
             "commutativity_fallback_states":
                 self.commutativity_fallback_states,
         }

@@ -66,7 +66,8 @@ class VerificationPipeline:
                  ordering: str = "force",
                  traversal_strategy: str = "chained",
                  initial_values: Optional[Dict[str, bool]] = None,
-                 commutativity_fallback_states: int = 10_000) -> None:
+                 commutativity_fallback_states: int = 10_000,
+                 deadline: Optional[float] = None) -> None:
         if initial_values:
             stg = stg.copy()
             stg.set_initial_values(initial_values)
@@ -75,6 +76,11 @@ class VerificationPipeline:
         self.ordering = ordering
         self.traversal_strategy = traversal_strategy
         self.commutativity_fallback_states = commutativity_fallback_states
+        #: Cooperative per-entry deadline (absolute ``time.monotonic``
+        #: instant): the traversal checks it once per fixpoint iteration
+        #: and raises :class:`~repro.utils.timing.DeadlineExceeded` past
+        #: it -- the timeout mechanism of non-preemptive backends.
+        self.deadline = deadline
         #: Optional hooks of the persistent BDD cache
         #: (:func:`repro.cache.bind_pipeline`).  The provider may return a
         #: ``(reached, stats)`` pair to skip the traversal entirely; the
@@ -145,7 +151,8 @@ class VerificationPipeline:
                 strategy=self.traversal_strategy,
                 seed=self.seed_reached,
                 seed_transitions=self.seed_transitions,
-                seed_closed=self.seed_closed)
+                seed_closed=self.seed_closed,
+                deadline=self.deadline)
             self.warm_handle = None  # warm nodes no longer need pinning
             self.seed_reached = None  # ditto for the delta seed
             if self.reached_consumer is not None:

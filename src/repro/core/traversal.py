@@ -25,6 +25,7 @@ from repro.bdd import Function
 from repro.core.encoding import SymbolicEncoding
 from repro.core.image import SymbolicImage
 from repro.core.stats import TraversalStats
+from repro.utils.timing import check_deadline
 
 STRATEGIES = ("chained", "frontier")
 
@@ -37,7 +38,8 @@ def symbolic_traversal(encoding: SymbolicEncoding,
                        observer: Optional[Callable[[Function], None]] = None,
                        seed: Optional[Function] = None,
                        seed_transitions: Optional[Iterable[str]] = None,
-                       seed_closed: bool = False
+                       seed_closed: bool = False,
+                       deadline: Optional[float] = None
                        ) -> Tuple[Function, TraversalStats]:
     """Compute the reachable full states of an STG symbolically.
 
@@ -73,6 +75,14 @@ def symbolic_traversal(encoding: SymbolicEncoding,
         pre-existing place or signal).
     seed_closed:
         Restrict the sweep to ``seed_transitions`` (see above).
+    deadline:
+        Optional absolute :func:`time.monotonic` instant checked
+        cooperatively once per fixpoint iteration;
+        :class:`~repro.utils.timing.DeadlineExceeded` is raised past
+        it.  This is the in-process timeout mechanism of the backends
+        that cannot preempt an entry (``serial``/``thread``/
+        ``asyncio``); the ``process`` backend additionally enforces
+        budgets preemptively.
 
     Returns
     -------
@@ -108,6 +118,7 @@ def symbolic_traversal(encoding: SymbolicEncoding,
 
         from_set = reached
         while True:
+            check_deadline(deadline, "symbolic traversal")
             stats.iterations += 1
             if strategy == "chained":
                 new = _chained_step(image, transition_list, reached,

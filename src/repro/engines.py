@@ -138,7 +138,8 @@ class SymbolicEngine:
             traversal_strategy=config.traversal_strategy,
             initial_values=config.initial_values_dict,
             commutativity_fallback_states=config.
-            commutativity_fallback_states)
+            commutativity_fallback_states,
+            deadline=config.deadline)
         if config.bdd_cache_dir:
             from repro.cache import BDDStore, bind_pipeline
 
@@ -173,7 +174,8 @@ class ExplicitEngine:
             stg,
             initial_values=config.initial_values_dict,
             arbitration_places=config.arbitration_places,
-            max_states=config.max_states)
+            max_states=config.max_states,
+            deadline=config.deadline)
         return EngineRun(report=context.run(checks=list(checks)))
 
 

@@ -1,0 +1,249 @@
+"""The lease journal of the sweep fabric.
+
+A :class:`LeaseStore` is the :class:`~repro.runner.store.RunStore`'s
+sibling: an append-only JSONL journal (``leases.jsonl``) living in a
+lease directory, recording every ``claim``, ``renew`` and ``release``
+of a sweep entry.  A lease grants one holder the right to compute one
+entry until a *monotonic deadline*; a holder that keeps working renews
+before the deadline, a holder that finishes releases with the entry's
+outcome, and a holder that dies simply stops renewing -- the lease
+expires and the entry becomes claimable again, which is the whole
+work-stealing contract: a dead or wedged worker's entries are
+automatically re-issued, no operator intervention required.
+
+The journal shares the RunStore's crash posture: corrupt lines (the
+truncated trailing record a killed coordinator leaves behind) are
+skipped with a :class:`LeaseStoreWarning` on load and dropped for good
+by :meth:`LeaseStore.compact`.  Replaying the journal reconstructs the
+active-lease table exactly, so a restarted coordinator refuses to
+double-issue entries that are still validly leased elsewhere.
+
+Nothing in this module may influence verdicts: lease records carry
+entry *identity* (name + fingerprint key) and scheduling state only,
+and the analyzer's RA205 rule keeps lease metadata out of fingerprint
+material and stable views.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+LEASES_FILE = "leases.jsonl"
+
+#: Journal operations, in lifecycle order.
+LEASE_OPS = ("claim", "renew", "release")
+
+
+class LeaseStoreWarning(UserWarning):
+    """A non-fatal lease-journal problem (e.g. a corrupt line skipped)."""
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted lease: the right to compute ``key`` until ``deadline``.
+
+    ``key`` identifies the sweep entry (the runner uses
+    ``name::fingerprint``); ``token`` is unique per grant, so a stale
+    holder whose lease expired and was re-claimed cannot release the
+    new holder's lease.  ``deadline`` is a :func:`time.monotonic`
+    instant.
+    """
+
+    key: str
+    name: str
+    holder: str
+    token: int
+    deadline: float
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """True when the lease's deadline has passed."""
+        now = time.monotonic() if now is None else now
+        return now > self.deadline
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "name": self.name,
+            "holder": self.holder,
+            "token": self.token,
+            "deadline": self.deadline,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Lease":
+        return cls(
+            key=str(data["key"]),
+            name=str(data["name"]),
+            holder=str(data["holder"]),
+            token=int(data["token"]),
+            deadline=float(data["deadline"]))
+
+
+class LeaseStore:
+    """JSONL-backed journal of sweep-entry leases."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.path.abspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.path = os.path.join(self.directory, LEASES_FILE)
+        #: key -> the currently active lease (claimed or renewed, not
+        #: yet released).  Expiry is evaluated lazily against ``now``.
+        self._active: Dict[str, Lease] = {}
+        #: Corrupt journal lines skipped by the last load; ``compact()``
+        #: repairs the file.
+        self.skipped_lines = 0
+        #: Claims that displaced an expired lease (work stealing).
+        self.reclaimed = 0
+        self._sequence = 0
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Journal replay
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    op = record["op"]
+                    if op not in LEASE_OPS:
+                        raise ValueError(f"unknown lease op {op!r}")
+                    lease = Lease.from_dict(record)
+                except (ValueError, TypeError, KeyError):
+                    # The killed-coordinator state: a trailing record cut
+                    # mid-write.  Never fatal -- resuming from what did
+                    # land is the point.
+                    self.skipped_lines += 1
+                    warnings.warn(
+                        f"{self.path}:{number}: skipping corrupt lease "
+                        f"record (interrupted write?); compact() repairs "
+                        f"the file", LeaseStoreWarning, stacklevel=2)
+                    continue
+                self._sequence = max(self._sequence, lease.token)
+                if op == "release":
+                    current = self._active.get(lease.key)
+                    if current is not None and current.token == lease.token:
+                        del self._active[lease.key]
+                else:
+                    self._active[lease.key] = lease
+
+    def __len__(self) -> int:
+        return len(self._active)
+
+    def _append(self, op: str, lease: Lease, **extra: object) -> None:
+        record = lease.to_dict()
+        record["op"] = op
+        record.update(extra)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------
+    # Lease protocol
+    # ------------------------------------------------------------------
+    def holder_of(self, key: str,
+                  now: Optional[float] = None) -> Optional[Lease]:
+        """The *valid* (unexpired) lease on ``key``, or ``None``."""
+        lease = self._active.get(key)
+        if lease is None or lease.expired(now):
+            return None
+        return lease
+
+    def claimable(self, key: str, now: Optional[float] = None) -> bool:
+        """True when ``key`` has no valid lease (free or expired)."""
+        return self.holder_of(key, now) is None
+
+    def claim(self, key: str, name: str, holder: str, duration: float,
+              now: Optional[float] = None) -> Optional[Lease]:
+        """Claim ``key`` for ``duration`` seconds; ``None`` when another
+        holder's lease is still valid.
+
+        Claiming over an *expired* lease succeeds -- that is the
+        work-stealing path -- and is counted in :attr:`reclaimed`.
+        """
+        now = time.monotonic() if now is None else now
+        current = self._active.get(key)
+        if current is not None:
+            if not current.expired(now):
+                return None
+            self.reclaimed += 1
+        self._sequence += 1
+        lease = Lease(key=key, name=name, holder=holder,
+                      token=self._sequence, deadline=now + duration)
+        self._append("claim", lease)
+        self._active[key] = lease
+        return lease
+
+    def renew(self, lease: Lease, duration: float,
+              now: Optional[float] = None) -> Optional[Lease]:
+        """Extend ``lease`` by ``duration`` from ``now``; ``None`` when
+        the lease is no longer current (expired-and-reclaimed, or
+        released)."""
+        now = time.monotonic() if now is None else now
+        current = self._active.get(lease.key)
+        if current is None or current.token != lease.token:
+            return None
+        if current.expired(now):
+            return None
+        renewed = Lease(key=lease.key, name=lease.name,
+                        holder=lease.holder, token=lease.token,
+                        deadline=now + duration)
+        self._append("renew", renewed)
+        self._active[lease.key] = renewed
+        return renewed
+
+    def release(self, lease: Lease, outcome: str,
+                now: Optional[float] = None) -> bool:
+        """Release ``lease``, recording the entry's ``outcome``.
+
+        Returns ``False`` -- and records nothing -- when the lease is no
+        longer valid: the token was superseded by a re-claim, or the
+        deadline passed before the holder got here.  A ``False`` return
+        is the stale-holder signal: the caller's result must be
+        discarded, because the entry either was or will be re-issued.
+        An invalidated (expired) lease is dropped from the active table
+        so the entry is immediately claimable again.
+        """
+        now = time.monotonic() if now is None else now
+        current = self._active.get(lease.key)
+        if current is None or current.token != lease.token:
+            return False
+        if current.expired(now):
+            del self._active[lease.key]
+            return False
+        self._append("release", current, outcome=outcome)
+        del self._active[lease.key]
+        return True
+
+    def expired_leases(self, now: Optional[float] = None) -> List[Lease]:
+        """Active-table leases whose deadline has passed (claimable)."""
+        now = time.monotonic() if now is None else now
+        return [lease for lease in self._active.values()
+                if lease.expired(now)]
+
+    def active_leases(self) -> List[Lease]:
+        """Every lease in the active table, expired or not."""
+        return list(self._active.values())
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+    def compact(self) -> None:
+        """Rewrite the journal keeping one ``claim`` record per active
+        lease, dropping corrupt lines and resolved histories."""
+        with open(self.path + ".tmp", "w", encoding="utf-8") as handle:
+            for key in sorted(self._active):
+                record = self._active[key].to_dict()
+                record["op"] = "claim"
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        os.replace(self.path + ".tmp", self.path)
+        self.skipped_lines = 0

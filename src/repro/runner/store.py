@@ -111,6 +111,20 @@ class RunStore:
         result.cached = True
         return result
 
+    def duration_hint(self, name: str) -> Optional[float]:
+        """Longest recorded compute duration for entry ``name``.
+
+        Scheduling history, not a verdict: the lease coordinator uses it
+        for longest-job-first issue order.  Any fingerprint counts --
+        config and content edits change the fingerprint but rarely the
+        order of magnitude -- and ``None`` means the entry was never
+        seen, which schedulers should treat as potentially long.
+        """
+        durations = [float(record.get("duration") or 0.0)
+                     for (key_name, _), record in self._index.items()
+                     if key_name == name]
+        return max(durations) if durations else None
+
     def put(self, result: EntryResult) -> None:
         """Persist a freshly computed result (cache hits are not re-written).
 

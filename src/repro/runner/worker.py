@@ -33,8 +33,9 @@ import time
 import traceback
 from typing import Dict, Optional
 
-from repro import obs
+from repro import faults, obs
 from repro.runner.results import EntryResult
+from repro.utils.timing import DeadlineExceeded, deadline_from_timeout
 
 
 def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
@@ -48,6 +49,21 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
     activation-scoped (contextvars), so concurrent thread-backend
     entries stay isolated, and the sweep gate proves traced/untraced
     stable-JSON byte parity.
+
+    Timeouts are enforced *cooperatively* here, for every backend: a
+    ``timeout`` config knob (without an explicit ``deadline``) becomes
+    an absolute monotonic deadline the engines check once per traversal
+    iteration, and :class:`~repro.utils.timing.DeadlineExceeded`
+    surfaces as a ``timeout`` record.  The ``process`` backend keeps
+    its preemptive kill on top (a wedged C extension beats any
+    cooperative check); the others rely on this path alone.
+
+    A ``fault_plan`` knob (the lease fabric's chaos dial) injects
+    deterministic failures: ``crash`` raises before verification (an
+    ``error`` record), ``hang`` starts the entry with an
+    already-expired deadline so the cooperative check fires (a
+    ``timeout`` record).  Both are recovered by the coordinator's
+    retry, which re-dispatches with a bumped attempt number.
     """
     start = time.perf_counter()
     name = str(payload["name"])
@@ -56,6 +72,17 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
     fingerprint = str(payload["fingerprint"])
     delay = float(payload.get("delay") or 0.0)
     trace_dir = config.get("trace_dir")
+    plan = faults.plan_from_config(config)
+    if config.get("deadline") is None and config.get("timeout") is not None:
+        config["deadline"] = deadline_from_timeout(
+            float(config["timeout"]))
+    if plan is not None and plan.decides("hang", fingerprint):
+        # A simulated wedge: the entry starts past its deadline, so the
+        # engines' cooperative check raises on the first iteration --
+        # the genuine timeout path, without burning wall clock.
+        config["deadline"] = max(1e-9, time.monotonic() - 1.0)
+    payload = dict(payload)
+    payload["config"] = config
     meta = {"engine": engine,
             "provenance": dict(payload.get("provenance") or {})}
     with obs.tracing(trace_dir if trace_dir else None, name=name,
@@ -64,6 +91,9 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
             try:
                 if delay:
                     time.sleep(delay)
+                if plan is not None and plan.decides("crash", fingerprint):
+                    raise faults.InjectedWorkerCrash(
+                        f"injected worker crash (attempt {plan.attempt})")
                 report, traversal = _check(payload)
                 mismatches = _mismatches(payload, report)
                 result = EntryResult(
@@ -74,6 +104,14 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
                     report=report.to_dict(),
                     traversal=traversal,
                     mismatches=mismatches,
+                    duration=time.perf_counter() - start)
+            except DeadlineExceeded as error:
+                result = EntryResult(
+                    name=name,
+                    status="timeout",
+                    engine=engine,
+                    fingerprint=fingerprint,
+                    error=f"{type(error).__name__}: {error}",
                     duration=time.perf_counter() - start)
             except Exception as error:
                 result = EntryResult(

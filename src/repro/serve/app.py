@@ -36,7 +36,7 @@ import tempfile
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.serve import protocol
 from repro.serve.jobs import Job
@@ -58,6 +58,13 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 
 #: Seconds the drain sequence waits for in-flight handlers.
 DRAIN_TIMEOUT_S = 60.0
+
+#: ``Retry-After`` interval advertised on load-shedding 503s (queue
+#: full, draining).  Deliberately short: a full queue on a warm daemon
+#: drains at verification speed, so "come back in a second" is honest,
+#: and clients with a :class:`~repro.fabric.policy.RetryPolicy` apply
+#: their own exponential backoff on top anyway.
+RETRY_AFTER_SECONDS = 1
 
 
 class ServeApp:
@@ -313,7 +320,8 @@ class ServeApp:
             return
         if self._draining:
             self._write_json(writer, 503, protocol.error_event(
-                "daemon is draining", status=503))
+                "daemon is draining", status=503, retryable=True),
+                extra_headers=(f"Retry-After: {RETRY_AFTER_SECONDS}",))
             return
         job = Job(next(self._job_ids), task,
                   asyncio.get_running_loop(),
@@ -325,7 +333,9 @@ class ServeApp:
             job.finished("error")
             self.metrics.counter("serve.rejected").add(1)
             self._write_json(writer, 503, protocol.error_event(
-                f"job queue full ({self.queue_size})", status=503))
+                f"job queue full ({self.queue_size})", status=503,
+                retryable=True),
+                extra_headers=(f"Retry-After: {RETRY_AFTER_SECONDS}",))
             return
         job.enqueued()
         self.metrics.gauge("serve.queue.depth").set(self._queue.qsize())
@@ -393,11 +403,14 @@ class ServeApp:
 
     @staticmethod
     def _write_json(writer: asyncio.StreamWriter, status: int,
-                    payload: Dict[str, object]) -> None:
+                    payload: Dict[str, object],
+                    extra_headers: Sequence[str] = ()) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        headers = "".join(f"{header}\r\n" for header in extra_headers)
         writer.write((f"HTTP/1.1 {_STATUS_LINES[status]}\r\n"
                       f"Content-Type: application/json\r\n"
                       f"Content-Length: {len(body)}\r\n"
+                      f"{headers}"
                       f"Connection: close\r\n\r\n").encode("ascii"))
         writer.write(body)
 

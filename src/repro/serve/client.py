@@ -21,9 +21,11 @@ needs.  Every call opens one connection (the daemon answers
 from __future__ import annotations
 
 import json
+import time
 from http.client import HTTPConnection
 from typing import Dict, Iterator, Optional, Sequence
 
+from repro.fabric.policy import RetryPolicy
 from repro.serve.protocol import TERMINAL_EVENTS
 
 
@@ -41,10 +43,20 @@ class ServeClient:
     """Blocking HTTP client of one ``repro.serve`` daemon."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 timeout: float = 120.0) -> None:
+                 timeout: float = 120.0,
+                 retry: Optional[RetryPolicy] = None) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Opt-in bounded retry of load-shedding refusals.  When set, a
+        #: 503 whose error event carries ``retryable: true`` (queue
+        #: full, draining) is resubmitted up to ``retry.max_attempts``
+        #: times with the policy's deterministic exponential backoff --
+        #: the same :class:`~repro.fabric.policy.RetryPolicy` the lease
+        #: coordinator uses, so one spec string tunes both layers.
+        #: Genuine failures (4xx, 500, terminal ``error`` events) are
+        #: never retried.
+        self.retry = retry
         self._server_schema: Optional[int] = None
 
     # ------------------------------------------------------------------
@@ -69,7 +81,7 @@ class ServeClient:
             self._require_schema(2, "base")
         body = self._check_body(entry, g_text, name, config, checks,
                                 delay, stream=False, base=base)
-        response = self._request("POST", "/check", body)
+        response = self._post_check(body)
         payload = self._read_json(response)
         if response.status != 200 or payload.get("type") != "result":
             raise ServeClientError(
@@ -92,7 +104,7 @@ class ServeClient:
             self._require_schema(2, "base")
         body = self._check_body(entry, g_text, name, config, checks,
                                 delay, stream=True, base=base)
-        response = self._request("POST", "/check", body)
+        response = self._post_check(body)
         if response.status != 200:
             payload = self._read_json(response)
             raise ServeClientError(
@@ -171,6 +183,32 @@ class ServeClient:
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
+    def _post_check(self, body: Dict[str, object]):
+        """POST the check body, retrying retryable 503s when opted in.
+
+        Without a :attr:`retry` policy this is one plain request -- the
+        caller sees the 503 exactly as before.  With one, a refusal
+        whose body says ``retryable: true`` sleeps the policy's
+        deterministic backoff (jitter-keyed on the entry name, so a
+        thundering herd of identical clients still de-synchronises) and
+        resubmits; the attempt budget exhausting raises the last
+        refusal as a :class:`ServeClientError`.
+        """
+        key = str(body.get("entry") or body.get("name") or "")
+        attempt = 1
+        while True:
+            response = self._request("POST", "/check", body)
+            if response.status != 503 or self.retry is None:
+                return response
+            payload = self._read_json(response)
+            if (payload.get("retryable") is not True
+                    or attempt >= self.retry.max_attempts):
+                raise ServeClientError(
+                    str(payload.get("error", "HTTP 503")),
+                    status=response.status, payload=payload)
+            attempt += 1
+            time.sleep(self.retry.delay_for(attempt, key))
+
     def _simple(self, method: str, path: str) -> Dict[str, object]:
         response = self._request(method, path)
         payload = self._read_json(response)

@@ -230,12 +230,23 @@ def result_event(job_id: int, result: EntryResult) -> Dict[str, object]:
 
 
 def error_event(message: str, job_id: Optional[int] = None,
-                status: int = 500) -> Dict[str, object]:
-    """The terminal failure event (also the body of plain HTTP errors)."""
+                status: int = 500,
+                retryable: Optional[bool] = None) -> Dict[str, object]:
+    """The terminal failure event (also the body of plain HTTP errors).
+
+    ``retryable=True`` marks load-shedding refusals (queue full,
+    draining): the request was never attempted, so resubmitting it
+    after the ``Retry-After`` interval is safe and encouraged --
+    :class:`~repro.serve.client.ServeClient` honours the flag with its
+    opt-in bounded retry.  The field is present only when set, so
+    schema-2 consumers see unchanged events for genuine failures.
+    """
     event: Dict[str, object] = {"type": "error", "error": message,
                                 "status": status}
     if job_id is not None:
         event["job"] = job_id
+    if retryable is not None:
+        event["retryable"] = retryable
     return event
 
 

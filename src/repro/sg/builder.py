@@ -10,6 +10,7 @@ from repro.petri.reachability import build_reachability_graph
 from repro.stg.signals import STGError
 from repro.stg.stg import STG
 from repro.sg.state import ConsistencyViolation, State, StateGraph
+from repro.utils.timing import check_deadline
 
 
 class StateGraphResult:
@@ -43,7 +44,8 @@ class StateGraphResult:
 
 def build_state_graph(stg: STG,
                       initial_values: Optional[Dict[str, bool]] = None,
-                      max_states: Optional[int] = 1_000_000
+                      max_states: Optional[int] = 1_000_000,
+                      deadline: Optional[float] = None
                       ) -> StateGraphResult:
     """Breadth-first construction of the full state graph of an STG.
 
@@ -56,6 +58,12 @@ def build_state_graph(stg: STG,
         Overrides / completes the initial signal values.
     max_states:
         Exploration budget; ``None`` means unlimited.
+    deadline:
+        Optional absolute :func:`time.monotonic` instant checked
+        cooperatively per dequeued state
+        (:class:`~repro.utils.timing.DeadlineExceeded` past it) -- the
+        explicit engine's counterpart of the symbolic traversal's
+        per-iteration check.
     """
     values = dict(stg.initial_values)
     if initial_values:
@@ -73,6 +81,7 @@ def build_state_graph(stg: STG,
     visited: Set[State] = {initial}
     truncated = False
     while queue:
+        check_deadline(deadline, "explicit state-graph enumeration")
         state = queue.popleft()
         for transition in stg.net.enabled_transitions(state.marking):
             label = stg.label_of(transition)

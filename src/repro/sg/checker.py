@@ -54,11 +54,16 @@ class ExplicitVerification:
     def __init__(self, stg: STG,
                  initial_values: Optional[Dict[str, bool]] = None,
                  arbitration_places: Optional[Iterable[str]] = None,
-                 max_states: int = 1_000_000) -> None:
+                 max_states: int = 1_000_000,
+                 deadline: Optional[float] = None) -> None:
         self.stg = stg
         self.initial_values = initial_values
         self.arbitration_places = list(arbitration_places or ())
         self.max_states = max_states
+        #: Cooperative per-entry deadline (absolute ``time.monotonic``
+        #: instant) checked during enumeration; see
+        #: :func:`repro.sg.builder.build_state_graph`.
+        self.deadline = deadline
         self._build_result = None
         self._boundedness = None
 
@@ -70,7 +75,8 @@ class ExplicitVerification:
         """The state-graph construction outcome; enumerated exactly once."""
         if self._build_result is None:
             self._build_result = build_state_graph(
-                self.stg, self.initial_values, max_states=self.max_states)
+                self.stg, self.initial_values, max_states=self.max_states,
+                deadline=self.deadline)
         return self._build_result
 
     @property

@@ -7,6 +7,33 @@ from typing import Dict, Iterator, Optional
 from contextlib import contextmanager
 
 
+class DeadlineExceeded(Exception):
+    """A cooperative deadline expired mid-computation.
+
+    Raised by the symbolic traversal's fixpoint loop when the
+    ``deadline`` execution knob (an absolute :func:`time.monotonic`
+    instant) has passed.  The worker primitive catches it and reports
+    the entry as a ``timeout`` record, which is how the ``serial``,
+    ``thread`` and ``asyncio`` backends -- none of which can preempt a
+    running entry the way the ``process`` backend can -- still honour
+    per-entry time budgets.
+    """
+
+
+def deadline_from_timeout(timeout: Optional[float]) -> Optional[float]:
+    """Absolute monotonic deadline for a relative ``timeout`` budget."""
+    if timeout is None:
+        return None
+    return time.monotonic() + float(timeout)
+
+
+def check_deadline(deadline: Optional[float], context: str) -> None:
+    """Raise :class:`DeadlineExceeded` when ``deadline`` has passed."""
+    if deadline is not None and time.monotonic() > deadline:
+        raise DeadlineExceeded(
+            f"cooperative deadline exceeded during {context}")
+
+
 class Stopwatch:
     """A simple cumulative stopwatch.
 

@@ -1,0 +1,34 @@
+"""Firing fixture for RA205: fingerprint / stable-view material that
+references fabric scheduling metadata.  Every flagged line lets *how*
+a verdict was computed (which lease holder, after how many retries,
+under what fault plan) perturb a cache key or a byte-identical stable
+result."""
+
+import hashlib
+import json
+
+
+class LeakyResult:
+    def stable_dict(self):
+        data = dict(self.payload)
+        data["lease_holder"] = self.holder  # must-fire: RA205
+        data["attempts"] = self.attempts  # must-fire: RA205
+        return data
+
+    def stable_json_dict(self):
+        entries = [entry.stable_dict() for entry in self.entries]
+        return {"entries": entries,
+                "retry_policy": self.policy}  # must-fire: RA205
+
+
+class LeakyTask:
+    @property
+    def fingerprint(self):
+        material = {"g_text": self.g_text, "config": self.config}
+        material["fault_plan"] = self.fault_plan  # must-fire: RA205
+        blob = json.dumps(material, sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def backoff_fingerprint(task, lease):  # must-fire: RA205
+    return hashlib.sha256(repr(task).encode("utf-8")).hexdigest()

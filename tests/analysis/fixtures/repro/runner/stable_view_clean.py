@@ -1,0 +1,42 @@
+"""Clean fixture for RA205: stable views and fingerprints that keep
+fabric scheduling metadata out -- including the sanctioned pattern of
+*stripping* provenance wholesale (no flagged identifier needed), and
+prose mentions of leases and retries in docstrings, which never flag.
+Fabric words inside ordinary identifiers (``placeholder``) do not
+token-match either."""
+
+import hashlib
+import json
+
+
+class CleanResult:
+    def stable_dict(self):
+        """The timing-free view (lease and retry provenance already
+        stripped with the rest of the provenance dict)."""
+        data = dict(self.payload)
+        del data["duration"]
+        del data["provenance"]
+        data.setdefault("placeholder", None)
+        return data
+
+    def stable_json_dict(self):
+        return {"entries": [entry.stable_dict()
+                            for entry in self.entries]}
+
+
+class CleanTask:
+    @property
+    def fingerprint(self):
+        config = dict(self.config)
+        for knob in self.execution_knobs:
+            config.pop(knob, None)
+        blob = json.dumps({"g_text": self.g_text, "config": config},
+                          sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def coordinate(lease, policy, attempt):
+    """Fabric metadata outside stable-view functions is fine -- this is
+    exactly where lease holders and retry attempts belong."""
+    return {"holder": lease.holder, "attempt": attempt,
+            "backoff": policy.delay_for(attempt)}

@@ -1,6 +1,7 @@
-"""Facade-purity pass (RA201-RA204): shims constructed only in the
+"""Facade-purity pass (RA201-RA205): shims constructed only in the
 facade layer, front-end code bound to repro.api, serve code kept to
-transport, delta code kept to traversal seeding."""
+transport, delta code kept to traversal seeding, fabric scheduling
+metadata kept out of fingerprints and stable views."""
 
 from tools.analysis import facade
 
@@ -79,3 +80,35 @@ def test_rules_scope_to_library_code(run_pass, fixture_config):
     config = fixture_config(library_prefixes=("src/",))
     assert run_pass(facade, "repro/runner/uses_internals.py",
                     config=config) == []
+
+
+class TestFabricStableLeak:
+    FIXTURE = "repro/runner/leaky_stable_view.py"
+
+    def test_marked_lines_fire(self, run_pass, expected_lines):
+        findings = run_pass(facade, self.FIXTURE)
+        assert sorted(f.line for f in findings if f.rule == "RA205") == \
+            expected_lines(self.FIXTURE, "RA205")
+
+    def test_leaks_report_only_ra205(self, run_pass):
+        findings = run_pass(facade, self.FIXTURE)
+        assert {f.rule for f in findings} == {"RA205"}
+
+    def test_messages_name_the_leaking_identifier(self, run_pass):
+        findings = run_pass(facade, self.FIXTURE)
+        assert any("'fault_plan'" in f.message for f in findings)
+        assert all("fingerprints or" in f.message for f in findings)
+
+    def test_one_finding_per_leaking_line(self, run_pass):
+        # data["lease_holder"] = self.holder carries two flagged
+        # identifiers; the pass reports the line once.
+        findings = run_pass(facade, self.FIXTURE)
+        lines = [f.line for f in findings if f.rule == "RA205"]
+        assert len(lines) == len(set(lines))
+
+
+def test_provenance_stripping_stable_views_are_clean(run_pass):
+    # The sanctioned pattern: strip the whole provenance dict (fabric
+    # metadata rides inside it), keep fabric words to docstrings and
+    # non-stable functions, and token matching ignores "placeholder".
+    assert run_pass(facade, "repro/runner/stable_view_clean.py") == []

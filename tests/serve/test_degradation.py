@@ -1,0 +1,168 @@
+"""Graceful degradation under load shedding: 503 refusals that carry
+``Retry-After`` and a machine-readable ``retryable`` flag, and the
+opt-in bounded client retry that consumes them.
+
+The drain path in :meth:`ServeApp.request_shutdown` also closes the
+listener, so these tests flip ``_draining`` directly -- that is the
+window (signal received, listener still up) the refusal contract is
+about.
+"""
+
+import json
+import threading
+import time
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.fabric import RetryPolicy
+from repro.serve import ServeClient, ServeClientError
+from repro.serve.app import RETRY_AFTER_SECONDS
+from repro.serve.protocol import error_event
+
+#: No-sleep retry policy: bounded attempts without wall-clock cost.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0, max_delay=0.0,
+                         jitter=0.0)
+
+
+def raw_post_check(port, payload):
+    """POST /check over a bare connection so headers stay visible."""
+    conn = HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("POST", "/check", body=json.dumps(payload),
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        body = json.loads(response.read().decode("utf-8"))
+        headers = {key.lower(): value
+                   for key, value in response.getheaders()}
+        return response.status, headers, body
+    finally:
+        conn.close()
+
+
+class CountingClient(ServeClient):
+    """A client that counts its /check submissions."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.posts = 0
+
+    def _request(self, method, path, body=None):
+        if path == "/check":
+            self.posts += 1
+        return super()._request(method, path, body)
+
+
+class TestErrorEventField:
+    def test_retryable_is_present_only_when_set(self):
+        assert error_event("x", status=503,
+                           retryable=True)["retryable"] is True
+        assert error_event("x", status=503,
+                           retryable=False)["retryable"] is False
+        assert "retryable" not in error_event("x", status=500)
+
+    def test_retryable_does_not_disturb_the_event_shape(self):
+        event = error_event("boom", job_id=7, status=503, retryable=True)
+        assert event["type"] == "error"
+        assert event["job"] == 7
+        assert event["error"] == "boom"
+
+
+class TestLoadSheddingResponses:
+    def test_draining_503_carries_retry_after_and_retryable(
+            self, make_daemon):
+        app = make_daemon()
+        app._draining = True
+        status, headers, body = raw_post_check(app.port,
+                                               {"entry": "handshake"})
+        assert status == 503
+        assert headers["retry-after"] == str(RETRY_AFTER_SECONDS)
+        assert body["retryable"] is True
+        assert "draining" in body["error"]
+
+    def test_validation_still_precedes_the_shed(self, make_daemon):
+        # A request the daemon could never serve is a 404 even while
+        # draining: retrying it elsewhere would be pointless.
+        app = make_daemon()
+        app._draining = True
+        status, _, body = raw_post_check(app.port,
+                                         {"entry": "no_such_entry"})
+        assert status == 404
+        assert "retryable" not in body
+
+    def test_queue_full_503_carries_retry_after_and_retryable(
+            self, make_daemon):
+        app = make_daemon(jobs=1, queue_size=1)
+        client = ServeClient(port=app.port)
+        blocker = client.check_stream(entry="handshake", delay=1.0)
+        assert next(blocker)["type"] == "queued"
+        assert next(blocker)["type"] == "running"
+        queued = client.check_stream(entry="vme_read", delay=0.0)
+        assert next(queued)["type"] == "queued"
+        status, headers, body = raw_post_check(app.port,
+                                               {"entry": "mutex_element"})
+        assert status == 503
+        assert headers["retry-after"] == str(RETRY_AFTER_SECONDS)
+        assert body["retryable"] is True
+        assert list(blocker)[-1]["type"] == "result"
+        assert list(queued)[-1]["type"] == "result"
+
+
+class TestClientRetry:
+    def test_plain_client_fails_on_the_first_refusal(self, make_daemon):
+        app = make_daemon()
+        app._draining = True
+        client = CountingClient(port=app.port)
+        with pytest.raises(ServeClientError) as info:
+            client.check(entry="handshake")
+        assert info.value.status == 503
+        assert client.posts == 1
+
+    def test_retry_is_bounded_by_the_policy_budget(self, make_daemon):
+        app = make_daemon()
+        app._draining = True
+        client = CountingClient(port=app.port, retry=FAST_RETRY)
+        with pytest.raises(ServeClientError) as info:
+            client.check(entry="handshake")
+        assert info.value.status == 503
+        assert info.value.payload["retryable"] is True
+        assert client.posts == FAST_RETRY.max_attempts
+
+    def test_retry_succeeds_once_the_daemon_recovers(self, make_daemon):
+        app = make_daemon()
+        app._draining = True
+        recover = threading.Timer(
+            0.15, lambda: setattr(app, "_draining", False))
+        recover.start()
+        try:
+            client = CountingClient(
+                port=app.port,
+                retry=RetryPolicy(max_attempts=20, base_delay=0.05,
+                                  max_delay=0.05, jitter=0.0))
+            result = client.check(entry="handshake")
+        finally:
+            recover.join()
+        assert result["status"] == "ok"
+        assert client.posts >= 2
+
+    def test_retry_rides_out_a_full_queue(self, make_daemon):
+        app = make_daemon(jobs=1, queue_size=1)
+        plain = ServeClient(port=app.port)
+        blocker = plain.check_stream(entry="handshake", delay=0.4)
+        assert next(blocker)["type"] == "queued"
+        assert next(blocker)["type"] == "running"
+        queued = plain.check_stream(entry="vme_read", delay=0.0)
+        assert next(queued)["type"] == "queued"
+        retrying = CountingClient(
+            port=app.port,
+            retry=RetryPolicy(max_attempts=40, base_delay=0.05,
+                              max_delay=0.05, jitter=0.0))
+        start = time.monotonic()
+        result = retrying.check(entry="mutex_element")
+        assert result["status"] == "ok"
+        # It got in only after the blocker freed a slot: real waiting,
+        # not a lucky first attempt.
+        assert retrying.posts >= 2
+        assert time.monotonic() - start > 0.05
+        assert list(blocker)[-1]["type"] == "result"
+        assert list(queued)[-1]["type"] == "result"

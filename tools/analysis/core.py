@@ -80,6 +80,12 @@ RULES: Dict[str, Rule] = {rule.id: rule for rule in (
          "checks, the explicit oracle, synthesis) or pokes private "
          "engine state; delta warm-starts may only seed the traversal "
          "-- verdicts must be byte-identical to a cold run"),
+    Rule("RA205", "fabric-stable-leak",
+         "fabric scheduling metadata (lease/retry/fault/attempt "
+         "identifiers or keys) referenced inside fingerprint or "
+         "stable-view material; which holder computed a verdict, after "
+         "how many retries and under what fault plan must never reach "
+         "cache keys or the byte-identical stable results"),
     # registry-hygiene pass (RA3xx)
     Rule("RA301", "unexercised-registration",
          "name registered with register_check / engine / backend "

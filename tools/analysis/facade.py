@@ -29,6 +29,17 @@ This pass turns that convention into findings:
   seed it hands the pipeline through its public seeding attributes --
   that containment is what makes "delta verdicts are byte-identical to
   cold verdicts" an invariant rather than a hope.
+* **RA205** -- fabric scheduling metadata inside fingerprint or
+  stable-view material.  The lease coordinator stamps *how* a verdict
+  was computed (lease holder, retry attempt, fault plan) into
+  provenance, and provenance is stripped from stable views; a
+  fingerprint or ``stable_dict``-family function that references a
+  lease/retry/fault/attempt identifier, dict key or subscript would
+  let scheduling history perturb cache keys or the byte-identical
+  sweep contract.  Same function detection as RA502 (``fingerprint*``,
+  ``stable_dict``, ``stable_json_dict``, ``stable_json``); only
+  identifier-position tokens count, so prose in docstrings stays
+  legal.
 """
 
 from __future__ import annotations
@@ -75,6 +86,19 @@ _DELTA_FORBIDDEN_MODULES = ("repro.report", "repro.api.checks",
                             "repro.sg", "repro.synthesis")
 
 
+#: Functions whose bodies are fingerprint / stable-view material (the
+#: same set the RA502 obs pass polices).
+_STABLE_VIEW_NAMES = ("stable_dict", "stable_json_dict", "stable_json")
+_STABLE_VIEW_FRAGMENT = "fingerprint"
+
+#: Snake-case tokens that mark an identifier (or string key) as fabric
+#: scheduling metadata.  Token-wise matching, not substring: ``holder``
+#: flags, ``placeholder`` does not.
+_FABRIC_TOKENS = frozenset((
+    "lease", "leases", "retry", "retries", "fault", "faults",
+    "attempt", "attempts", "holder", "backoff"))
+
+
 def _shim_allowed(path: str) -> bool:
     return any(fragment in path for fragment in _SHIM_ALLOWED_FRAGMENTS)
 
@@ -101,12 +125,81 @@ def _delta_forbidden_module(module: str) -> bool:
                for prefix in _DELTA_FORBIDDEN_MODULES)
 
 
+def _is_stable_view_function(name: str) -> bool:
+    return name in _STABLE_VIEW_NAMES or _STABLE_VIEW_FRAGMENT in name
+
+
+def _fabric_token_of(identifier: str) -> str:
+    """The first fabric token in a snake_case identifier, or ``""``."""
+    for token in identifier.lower().split("_"):
+        if token in _FABRIC_TOKENS:
+            return token
+    return ""
+
+
+def _fabric_identifiers(node: ast.AST):
+    """``(identifier, lineno)`` pairs of fabric-flavoured references.
+
+    Only identifier positions count -- names, attributes, parameters,
+    keyword arguments, string subscripts and string dict keys.  Bare
+    string constants (docstrings, messages) never flag.
+    """
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Name):
+            candidates = [(inner.id, inner.lineno)]
+        elif isinstance(inner, ast.Attribute):
+            candidates = [(inner.attr, inner.lineno)]
+        elif isinstance(inner, ast.arg):
+            candidates = [(inner.arg, inner.lineno)]
+        elif isinstance(inner, ast.keyword) and inner.arg is not None:
+            candidates = [(inner.arg, inner.value.lineno)]
+        elif isinstance(inner, ast.Subscript) \
+                and isinstance(inner.slice, ast.Constant) \
+                and isinstance(inner.slice.value, str):
+            candidates = [(inner.slice.value, inner.lineno)]
+        elif isinstance(inner, ast.Dict):
+            candidates = [(key.value, key.lineno) for key in inner.keys
+                          if isinstance(key, ast.Constant)
+                          and isinstance(key.value, str)]
+        else:
+            continue
+        for identifier, lineno in candidates:
+            if _fabric_token_of(identifier):
+                yield identifier, lineno
+
+
+def _check_stable_views(source: SourceFile,
+                        findings: List[Finding]) -> None:
+    """RA205: fingerprint / stable-view functions never reference
+    fabric scheduling metadata."""
+    assert source.tree is not None
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _is_stable_view_function(node.name):
+            continue
+        reported = set()
+        for identifier, lineno in _fabric_identifiers(node):
+            # One finding per line: a leaking assignment often carries
+            # several flagged identifiers (key, attribute, receiver).
+            if lineno in reported:
+                continue
+            reported.add(lineno)
+            findings.append(Finding(
+                rule="RA205", path=source.path, line=lineno,
+                message=f"{node.name}() references fabric scheduling "
+                        f"metadata {identifier!r}; lease/retry/fault "
+                        f"provenance must never reach fingerprints or "
+                        f"stable views"))
+
+
 def _check_file(source: SourceFile, findings: List[Finding]) -> None:
     assert source.tree is not None
     frontend = _is_frontend(source.path)
     serve = _is_serve(source.path)
     if _is_delta(source.path):
         _check_delta_file(source, findings)
+    _check_stable_views(source, findings)
     for node in ast.walk(source.tree):
         if isinstance(node, ast.Call):
             func = node.func

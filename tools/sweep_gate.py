@@ -29,6 +29,14 @@ so the distributed-sweep contract is checkable on any machine:
    traversal from the cached base entry) must produce stable JSON
    byte-identical to a cold re-check, report the seed reuse tier, and
    leave the base entry intact for further edits of the same model.
+6. **Chaos parity** -- the corpus swept through the lease coordinator
+   (``--leases``) under deterministic fault injection
+   (``--inject-faults``: worker crashes, hangs, torn store writes,
+   renewal stalls) with retry/backoff (``--retry``) must produce
+   stable JSON byte-identical to the clean serial sweep, and every
+   injected fault class must be visible in the coordinator's
+   ``fabric.retry.*`` metrics -- the proof that the fault tolerance
+   actually engaged rather than the dice all missing.
 
 Every ``batch-check`` call is a real subprocess with a *different*
 ``PYTHONHASHSEED``, so the gate also proves the stable output is
@@ -254,6 +262,62 @@ def check_delta_parity(workdir):
     return True
 
 
+#: The chaos leg's dials.  The fault rates and seed are chosen so that
+#: over the full corpus every fault class actually fires (the gate
+#: asserts it); the retry budget covers the worst per-entry draw; the
+#: short lease makes torn-write steals cheap.  All decisions are
+#: sha256-seeded, so the leg is reproducible across machines and
+#: PYTHONHASHSEED values.
+CHAOS_FAULT_SPEC = "crash=0.25,hang=0.25,truncate=0.2,stall=0.2,seed=11"
+CHAOS_RETRY_SPEC = "attempts=4,base=0.01,max=0.02,seed=1"
+CHAOS_LEASE_DURATION = "0.4"
+#: Metrics that must be non-zero after the chaos sweep: one per
+#: injected fault class (crash -> error retries, hang -> timeout
+#: retries, torn write -> truncated re-issues, renewal stall ->
+#: stalled re-issues).
+CHAOS_REQUIRED_METRICS = ("fabric.retry.error", "fabric.retry.timeout",
+                          "fabric.retry.truncated",
+                          "fabric.retry.stalled")
+
+
+def check_chaos(workdir):
+    print("sweep-gate: chaos parity (fault-injected lease sweep vs "
+          "clean serial sweep) ...")
+    import json
+
+    reference_path = os.path.join(workdir, "chaos-reference.json")
+    batch_check(["--backend", "serial", "--stable-json", reference_path],
+                seed=1100)
+    lease_dir = os.path.join(workdir, "chaos-leases")
+    chaos_path = os.path.join(workdir, "chaos-swept.json")
+    batch_check(["--backend", "thread", "--jobs", "2",
+                 "--leases", lease_dir,
+                 "--retry", CHAOS_RETRY_SPEC,
+                 "--inject-faults", CHAOS_FAULT_SPEC,
+                 "--lease-duration", CHAOS_LEASE_DURATION,
+                 "--cache-dir", os.path.join(workdir, "chaos-store"),
+                 "--stable-json", chaos_path], seed=1101)
+    if read(chaos_path) != read(reference_path):
+        print("sweep-gate: FAIL: fault-injected lease sweep stable JSON "
+              "differs from the clean serial sweep")
+        return False
+    with open(os.path.join(lease_dir, "metrics.json"),
+              encoding="utf-8") as handle:
+        metrics = json.load(handle)["metrics"]
+    missing = [name for name in CHAOS_REQUIRED_METRICS
+               if not int((metrics.get(name) or {}).get("value") or 0)]
+    if missing:
+        print(f"sweep-gate: FAIL: injected fault class(es) left no "
+              f"metric trace: {', '.join(missing)} -- the chaos dice "
+              f"never landed, so the sweep proved nothing")
+        return False
+    counts = {name.rsplit(".", 1)[1]: metrics[name]["value"]
+              for name in CHAOS_REQUIRED_METRICS}
+    print(f"sweep-gate: ok: chaos sweep byte-identical to the clean "
+          f"sweep with every fault class exercised ({counts})")
+    return True
+
+
 def main():
     workdir = tempfile.mkdtemp(prefix="repro-sweep-gate-")
     try:
@@ -262,6 +326,7 @@ def main():
         passed = check_bdd_cache_parity(workdir) and passed
         passed = check_trace_parity(workdir) and passed
         passed = check_delta_parity(workdir) and passed
+        passed = check_chaos(workdir) and passed
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
     if not passed:
